@@ -1,0 +1,40 @@
+"""Shared benchmark infrastructure.
+
+One full-scale :class:`ExperimentRunner` is shared by every benchmark
+module so that (workload x config) simulations run exactly once no matter
+how many figures need them.  Each figure/table benchmark renders its result
+to stdout and to ``benchmarks/out/`` so EXPERIMENTS.md can quote actuals.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentRunner
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Print a result table and persist it for the experiment log."""
+    print()
+    print(text)
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

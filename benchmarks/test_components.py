@@ -1,0 +1,121 @@
+"""Component microbenchmarks: raw speed of each substrate.
+
+These are genuine pytest-benchmark timing loops (multiple rounds) over the
+hot paths: functional interpretation, cache access, predictor update, and
+the cycle loop of the timing model.
+"""
+
+import numpy as np
+
+from repro.branch import BimodalPredictor
+from repro.core import BASELINE, SPEAR_128
+from repro.functional import FunctionalSimulator, run_program
+from repro.isa import ProgramBuilder
+from repro.memory import Cache, CacheConfig, MemoryHierarchy
+from repro.pipeline import simulate
+
+from tests.conftest import build_gather_program
+
+
+def _alu_loop(iters):
+    b = ProgramBuilder("aluloop")
+    b.li("r3", iters)
+    b.li("r2", 0)
+    with b.loop_down("r3"):
+        b.addi("r2", "r2", 1)
+        b.xor("r4", "r2", "r3")
+    b.halt()
+    return b.build()
+
+
+def test_functional_simulator_throughput(benchmark):
+    prog = _alu_loop(5000)
+
+    def run():
+        sim = FunctionalSimulator(prog)
+        sim.run(100_000)
+        return sim.instret
+
+    instret = benchmark(run)
+    assert instret > 10_000
+
+
+def test_functional_simulator_tracing_overhead(benchmark):
+    prog = _alu_loop(5000)
+    trace = benchmark(lambda: run_program(prog, max_instructions=100_000))
+    assert len(trace) > 10_000
+
+
+def test_cache_access_throughput(benchmark):
+    cache = Cache(CacheConfig("L1", sets=256, ways=4, block_bytes=32))
+    rng = np.random.default_rng(0)
+    addrs = [int(a) for a in rng.integers(0, 1 << 20, size=20_000)]
+
+    def run():
+        for a in addrs:
+            cache.access(a)
+        return cache.stats.accesses
+
+    assert benchmark(run) > 0
+
+
+def test_hierarchy_access_throughput(benchmark):
+    mem = MemoryHierarchy()
+    rng = np.random.default_rng(0)
+    addrs = [int(a) for a in rng.integers(0, 1 << 22, size=20_000)]
+
+    def run():
+        for now, a in enumerate(addrs):
+            mem.access(a, now=now)
+        return mem.thread_stats[0].accesses
+
+    assert benchmark(run) > 0
+
+
+def test_bimodal_predictor_throughput(benchmark):
+    p = BimodalPredictor(2048)
+    rng = np.random.default_rng(0)
+    pattern = [(int(pc), bool(t)) for pc, t in zip(
+        rng.integers(0, 4096, size=20_000), rng.random(20_000) < 0.8)]
+
+    def run():
+        for pc, taken in pattern:
+            p.predict_and_update(pc, taken)
+        return p.stats.lookups
+
+    assert benchmark(run) > 0
+
+
+def test_timing_model_cycle_throughput_baseline(benchmark):
+    prog = build_gather_program(seed=2, iters=600)
+    trace = run_program(prog, max_instructions=20_000)
+    res = benchmark(lambda: simulate(trace, BASELINE))
+    assert res.stats.committed == len(trace)
+
+
+def test_timing_model_cycle_throughput_spear(benchmark, runner):
+    art = runner.artifacts("mcf")
+
+    def run():
+        from repro.memory import MemoryHierarchy as MH
+        from repro.pipeline import TimingSimulator
+        sim = TimingSimulator(art.eval_trace, SPEAR_128, art.binary.table,
+                              MH(latencies=SPEAR_128.latencies),
+                              warmup=art.warmup_trace)
+        return sim.run()
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert res.stats.committed == len(art.eval_trace)
+
+
+def test_spear_compiler_throughput(benchmark):
+    from repro.compiler import compile_spear
+    train = build_gather_program(seed=9, iters=2000)
+
+    def run():
+        binary, report, _ = compile_spear(train,
+                                          max_profile_instructions=25_000)
+        return report
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.dloads >= 1

@@ -1,0 +1,35 @@
+"""Figure 6 — normalized IPC of baseline vs SPEAR-128 vs SPEAR-256.
+
+Paper: mean +12.7% (128) / +20.1% (256); best case mcf (+87.6%); tr,
+field, fft and gzip degrade slightly (-1% .. -6.2%).
+
+Shape assertions (DESIGN.md §5): both SPEAR models gain on average, the
+256-entry IFQ gains more, mcf is the top gainer, and the four published
+non-gainers stay at or below a few percent.
+"""
+
+from repro.harness import figure6
+
+from .conftest import emit, once
+
+FLAT_OR_LOSS = {"tr", "field", "fft", "gzip"}
+
+
+def test_fig6_normalized_ipc(benchmark, runner, out_dir):
+    res = once(benchmark, lambda: figure6(runner))
+
+    means = res.mean_speedups
+    assert means["SPEAR-128"] > 1.05
+    assert means["SPEAR-256"] > means["SPEAR-128"]
+
+    best_wl, best_speedup = res.best("SPEAR-256")
+    gainers = {r["workload"]: r["SPEAR-256"] for r in res.rows}
+    assert gainers["mcf"] > 1.25, "mcf must gain substantially"
+    assert best_wl not in FLAT_OR_LOSS
+
+    for wl in FLAT_OR_LOSS:
+        assert gainers[wl] < 1.15, f"{wl} should be flat-to-slightly-negative"
+
+    emit(out_dir, "figure6", res.table(
+        "Figure 6 — normalized IPC (baseline / SPEAR-128 / SPEAR-256)"
+    ).render())

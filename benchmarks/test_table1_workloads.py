@@ -1,0 +1,15 @@
+"""Table 1 — benchmark suite and simulated instruction counts."""
+
+from repro.harness import table1
+
+from .conftest import emit, once
+
+
+def test_table1_benchmark_suite(benchmark, runner, out_dir):
+    t = once(benchmark, lambda: table1(runner))
+    assert len(t.rows) == 15
+    # every benchmark produced a non-trivial trace
+    for row in t.rows:
+        assert row[3] > 10_000       # trace instrs
+        assert row[4] > 0            # loads
+    emit(out_dir, "table1", t.render())

@@ -1,0 +1,18 @@
+"""Table 2 — simulation parameters of the evaluated machines."""
+
+from repro.core import PAPER_CONFIGS
+from repro.harness import table2
+
+from .conftest import emit, once
+
+
+def test_table2_simulation_parameters(benchmark, runner, out_dir):
+    tables = once(benchmark,
+                  lambda: {name: table2(cfg)
+                           for name, cfg in PAPER_CONFIGS.items()})
+    text = "\n\n".join(t.render() for t in tables.values())
+    # paper Table 2 anchor values
+    spear128 = tables["SPEAR-128"].render()
+    assert "bimodal (2048)" in spear128
+    assert "ALU x 4, MUL/DIV x 1" in spear128
+    emit(out_dir, "table2", text)

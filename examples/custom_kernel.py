@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Author your own kernel against the public API.
+
+Builds a B-tree-search-style workload from scratch with
+:class:`ProgramBuilder` (it is not one of the bundled 15 benchmarks), runs
+the full SPEAR compiler on it, and measures pre-execution on the paper's
+machine models.  Demonstrates the whole toolchain without the workload
+registry.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_spear
+from repro.core import BASELINE, SPEAR_128, SPEAR_256
+from repro.functional import run_program
+from repro.memory import MemoryHierarchy
+from repro.pipeline import TimingSimulator
+
+FANOUT = 8           # children per node
+LEVELS = 5           # tree depth walked per lookup
+NODES = 1 << 15      # 32K nodes x 8 B = 256 KiB... per level array
+LOOKUPS = 4000
+
+
+def build_tree_search(seed: int):
+    """Each lookup descends LEVELS levels; the child pointer is read from
+    a per-level array (data-dependent descent, like a B-tree search)."""
+    from repro.isa import ProgramBuilder
+
+    rng = np.random.default_rng(seed)
+    b = ProgramBuilder("btree", mem_bytes=32 << 20)
+    level_bases = []
+    for _ in range(LEVELS):
+        children = rng.integers(0, NODES, size=NODES).astype(np.int64)
+        level_bases.append(b.alloc(NODES, init=children))
+    keys = rng.integers(0, NODES, size=LOOKUPS).astype(np.int64)
+    keys_base = b.alloc(LOOKUPS, init=keys)
+
+    for i, base in enumerate(level_bases):
+        b.li(f"r{20 + i}", base)
+    b.li("r4", keys_base)
+    b.li("r9", 0)
+    b.li("r3", LOOKUPS)
+    with b.loop_down("r3"):
+        b.lw("r10", "r4", 0)              # the key seeds the descent
+        for i in range(LEVELS):
+            b.slli("r5", "r10", 3)
+            b.add("r5", "r5", f"r{20 + i}")
+            b.lw("r10", "r5", 0)          # child pointer (delinquent)
+        b.add("r9", "r9", "r10")
+        b.addi("r4", "r4", 8)
+    b.halt()
+    return b.build()
+
+
+def main() -> None:
+    print("== custom workload: data-dependent tree search ==\n")
+    train = build_tree_search(seed=17)
+    evalp = build_tree_search(seed=3)
+
+    binary, report, _ = compile_spear(train, evalp)
+    print(report.render())
+
+    warm, measure = 40_000, 60_000
+    full = run_program(evalp, max_instructions=warm + measure)
+    warmup, trace = full.entries[:warm], full.entries[warm:]
+    from repro.functional import Trace
+    trace = Trace(trace, program_name="btree")
+
+    print(f"\n{'model':12s} {'IPC':>7s} {'speedup':>9s} {'L1 misses':>10s}")
+    results = {}
+    for config in (BASELINE, SPEAR_128, SPEAR_256):
+        sim = TimingSimulator(trace, config, binary.table,
+                              MemoryHierarchy(latencies=config.latencies),
+                              warmup=warmup)
+        results[config.name] = res = sim.run()
+        base_ipc = results["baseline"].ipc
+        print(f"{config.name:12s} {res.ipc:7.3f} {res.ipc / base_ipc:8.3f}x "
+              f"{res.main_l1_misses:10d}")
+
+    print("\nNote the serial descent: within one lookup the p-thread cannot "
+          "beat the pointer chain,\nbut lookups are independent, so deeper "
+          "IFQ lookahead still converts to memory parallelism.")
+
+
+if __name__ == "__main__":
+    main()

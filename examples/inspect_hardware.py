@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Look inside the SPEAR hardware while it runs.
+
+Runs one workload under SPEAR-128 and reports the machinery the paper's
+Section 3 describes: trigger outcomes, P-thread Extractor activity,
+live-in copy costs, p-thread execution volume, and where the front end
+spent its stalls — the observability layer of the timing model.
+
+Run:  python examples/inspect_hardware.py [workload]   (default: vpr)
+"""
+
+import sys
+
+from repro import BASELINE, SPEAR_128, ExperimentRunner
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "vpr"
+    runner = ExperimentRunner()
+    art = runner.artifacts(workload)
+    res = runner.run(workload, SPEAR_128)
+    base = runner.run(workload, BASELINE)
+    s = res.stats
+    sp = s.spear
+
+    print(f"== SPEAR-128 internals: {workload} ==\n")
+    print(f"annotation: {len(art.binary.table)} p-thread(s), "
+          f"{len(art.binary.table.marked_pcs)} marked static instructions, "
+          f"mean slice {art.binary.table.mean_slice_size:.1f}")
+
+    print("\n-- trigger logic (paper §3.2) --")
+    print(f"  d-load sightings that triggered : {sp.triggers}")
+    print(f"  suppressed (IFQ below half-full): {sp.triggers_suppressed}")
+    print(f"  blocked (mode already running)  : {sp.triggers_blocked}")
+    print(f"  modes completed / aborted       : "
+          f"{sp.modes_completed} / {sp.modes_aborted}")
+    print(f"  live-in copy cycles             : {sp.livein_copy_cycles}")
+    print(f"  drain wait cycles               : {sp.drain_wait_cycles}")
+
+    print("\n-- P-thread Extractor --")
+    print(f"  instructions extracted          : {sp.extracted}")
+    print(f"  of which loads                  : {sp.pthread_loads}")
+    print(f"  extraction stalls (RUU full)    : {sp.extraction_stall_ruu_full}")
+    print(f"  cycles in pre-execution mode    : {sp.cycles_in_mode} "
+          f"({sp.cycles_in_mode / s.cycles:.1%} of runtime)")
+
+    print("\n-- front end --")
+    print(f"  avg IFQ occupancy               : {s.avg_ifq_occupancy:.1f} / 128")
+    print(f"  branch hit ratio                : {s.branch_hit_ratio:.4f}")
+    print(f"  fetch stall cycles (mispredict) : {s.fetch_stall_mispredict}")
+    print(f"  decode stalls (RUU full / IFQ empty): "
+          f"{s.decode_stall_ruu_full} / {s.decode_stall_empty_ifq}")
+
+    print("\n-- memory system --")
+    main_t, pt = res.memory["threads"]
+    print(f"  main thread: {main_t['accesses']} accesses, "
+          f"{main_t['l1_misses']} L1 misses, "
+          f"{main_t['delayed_hits']} merged into in-flight fills")
+    print(f"  p-thread   : {pt['accesses']} accesses, "
+          f"{pt['l1_misses']} L1 misses (prefetches it started)")
+    print(f"  baseline main-thread misses     : {base.main_l1_misses}")
+
+    print(f"\nIPC {base.ipc:.3f} -> {res.ipc:.3f} "
+          f"({res.ipc / base.ipc:.3f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: compile one benchmark with the SPEAR compiler and compare
+the baseline superscalar against both SPEAR IFQ sizes.
+
+Run:  python examples/quickstart.py [workload]   (default: mcf)
+"""
+
+import sys
+
+from repro import BASELINE, SPEAR_128, SPEAR_256, ExperimentRunner
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    runner = ExperimentRunner()
+
+    print(f"== SPEAR quickstart: {workload} ==\n")
+    art = runner.artifacts(workload)
+    print(art.compile_report.render())
+    print()
+
+    base = runner.run(workload, BASELINE)
+    print(f"{'model':14s} {'IPC':>7s} {'speedup':>9s} {'L1 misses':>10s} "
+          f"{'triggers':>9s} {'p-instrs':>9s}")
+    for config in (BASELINE, SPEAR_128, SPEAR_256):
+        res = runner.run(workload, config)
+        print(f"{config.name:14s} {res.ipc:7.3f} "
+              f"{res.ipc / base.ipc:8.3f}x {res.main_l1_misses:10d} "
+              f"{res.stats.spear.triggers:9d} "
+              f"{res.stats.spear.pthread_instrs:9d}")
+
+    r256 = runner.run(workload, SPEAR_256)
+    saved = base.main_l1_misses - r256.main_l1_misses
+    if base.main_l1_misses:
+        print(f"\nSPEAR-256 removed {saved} of {base.main_l1_misses} "
+              f"main-thread L1 misses "
+              f"({saved / base.main_l1_misses:.1%}).")
+
+
+if __name__ == "__main__":
+    main()

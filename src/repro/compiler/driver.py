@@ -1,0 +1,105 @@
+"""End-to-end SPEAR compilation driver.
+
+Chains the four compiler modules of the paper's Figure 4:
+
+    binary ─→ ① CFG drawing ─→ ③ program slicing ─→ ④ attaching ─→ SPEAR binary
+          └─→ ② profiling  ─┘
+
+Profiling deliberately runs on a *training* program variant (same text
+segment, different input data) while the produced annotations are applied
+to the evaluation variant — the paper's §4.1 methodology ("we intentionally
+used different input data sets for profiling and benchmark simulation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.spear_binary import SpearBinary
+from ..functional.simulator import FunctionalSimulator
+from ..isa.program import Program
+from ..memory.hierarchy import LatencyConfig
+from .attacher import attach
+from .cfg import CFG
+from .profiler import Profile, profile_trace
+from .slicer import SlicerConfig, SlicerResult, build_pthreads
+
+
+@dataclass
+class CompileReport:
+    """What the compiler did, for documentation and tests."""
+
+    workload: str
+    profile_instructions: int
+    profile_l1_misses: int
+    dloads: int
+    mean_slice_size: float
+    max_slice_size: int
+    slices: list[dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"SPEAR compile report — {self.workload}",
+                 f"  profiled {self.profile_instructions} instructions, "
+                 f"{self.profile_l1_misses} L1 misses",
+                 f"  {self.dloads} delinquent load(s); mean slice "
+                 f"{self.mean_slice_size:.1f}, max {self.max_slice_size}"]
+        for s in self.slices:
+            lines.append(
+                f"    d-load pc {s['dload_pc']:5d}  misses {s['misses']:7d}  "
+                f"slice {s['slice_size']:4d}  live-ins {s['live_ins']}  "
+                f"d-cycle {s['d_cycle']:.1f}")
+        return "\n".join(lines)
+
+
+def _check_same_text(a: Program, b: Program) -> None:
+    if len(a) != len(b):
+        raise ValueError(
+            "training and evaluation binaries differ in length "
+            f"({len(a)} vs {len(b)}); pc-based annotations would be invalid")
+    for pc, (x, y) in enumerate(zip(a.instructions, b.instructions)):
+        if x.op != y.op or x.rd != y.rd or x.rs1 != y.rs1 or x.rs2 != y.rs2:
+            raise ValueError(
+                f"training and evaluation binaries diverge at pc {pc}: "
+                f"{x.render()} vs {y.render()}")
+
+
+def compile_spear(train_program: Program, eval_program: Program | None = None,
+                  *, slicer_config: SlicerConfig | None = None,
+                  latencies: LatencyConfig = LatencyConfig(),
+                  max_profile_instructions: int = 2_000_000
+                  ) -> tuple[SpearBinary, CompileReport, SlicerResult]:
+    """Compile a SPEAR binary.
+
+    Parameters
+    ----------
+    train_program:
+        Program with the profiling dataset baked into its data segments.
+    eval_program:
+        Program with the evaluation dataset; defaults to ``train_program``
+        (with a methodology warning left to the caller).  Its text segment
+        must match the training program instruction-for-instruction,
+        immediates excepted (trip counts and base addresses may differ).
+    """
+    eval_program = eval_program or train_program
+    _check_same_text(train_program, eval_program)
+
+    cfg = CFG(train_program)
+    sim = FunctionalSimulator(train_program)
+    trace = sim.run(max_profile_instructions, trace=True)
+    profile = profile_trace(trace, cfg, latencies=latencies)
+    result = build_pthreads(cfg, profile, slicer_config, latencies)
+    binary = attach(eval_program, result.table)
+
+    sizes = [r.slice_size for r in result.accepted]
+    report = CompileReport(
+        workload=eval_program.name,
+        profile_instructions=profile.total_instrs,
+        profile_l1_misses=profile.total_l1_misses,
+        dloads=len(result.table),
+        mean_slice_size=sum(sizes) / len(sizes) if sizes else 0.0,
+        max_slice_size=max(sizes, default=0),
+        slices=[{"dload_pc": r.dload_pc, "misses": r.miss_count,
+                 "slice_size": r.slice_size, "live_ins": list(r.live_ins),
+                 "d_cycle": r.d_cycle}
+                for r in result.accepted])
+    return binary, report, result

@@ -1,0 +1,215 @@
+"""Hybrid program slicing — compiler module ③ of the paper (Figure 4).
+
+Combines the static program structure (CFG + loop regions) with the
+profiler's dynamic information:
+
+* **Delinquent loads** are static loads whose profile miss count passes a
+  threshold (§4.2: "when the number of cache misses is higher than some
+  predetermined value").
+* **Region-based prefetching range** (§4.2): the base region is the
+  innermost loop containing the d-load; outer loops are added while the
+  accumulated d-cycle stays within the budget (120 by default) and the
+  region never grows across a function call.
+* **Dynamic backward slicing** (Figure 5): the backward walk follows only
+  dependence edges the profiler actually observed, and only the *dominant*
+  ones — a producer on a cold path contributes few dynamic edges and is
+  pruned, exactly the B2/B3 discrimination of the paper's example.
+* **Live-ins**: registers the slice reads before writing, in program
+  order; the hardware copies these at trigger time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.pthread import PThread, PThreadTable
+from ..memory.hierarchy import LatencyConfig
+from .cfg import CFG, Loop
+from .profiler import Profile
+
+
+@dataclass(frozen=True)
+class SlicerConfig:
+    """Tunables of the p-thread construction."""
+
+    #: Minimum profile misses for a load to be delinquent.
+    dload_miss_threshold: int = 64
+    #: Alternatively, loads covering at least this fraction of all profile
+    #: misses are delinquent even below the absolute threshold.
+    dload_miss_fraction: float = 0.02
+    #: At most this many d-loads per binary (the paper reports a "small
+    #: number" of static d-loads per application).
+    max_dloads: int = 16
+    #: A producer edge is followed only if it accounts for at least this
+    #: fraction of the consumer's dynamic executions (majority-path pruning).
+    dominant_edge_fraction: float = 0.05
+    #: Follow memory-dependence edges (store -> its backward slice) too.
+    follow_memory_deps: bool = True
+    #: Accumulated d-cycle budget for region growth (paper: 120).
+    dcycle_budget: float = 120.0
+    #: How the prefetching range grows from the innermost loop:
+    #: "budget" (paper: grow while accumulated d-cycles stay within
+    #: dcycle_budget), "innermost" (never grow), or "outermost" (grow as
+    #: far as call-free nesting allows — the paper's future-work question
+    #: of better region-selection algorithms).
+    region_policy: str = "budget"
+    #: Hard cap on slice size; 0 disables the cap (the paper kept fft's
+    #: 1129-instruction slices and paid for it).
+    max_slice_size: int = 0
+
+
+    def __post_init__(self) -> None:
+        if self.region_policy not in ("budget", "innermost", "outermost"):
+            raise ValueError(f"unknown region_policy {self.region_policy!r}")
+
+
+@dataclass
+class SliceReport:
+    """Diagnostics for one constructed (or rejected) p-thread."""
+
+    dload_pc: int
+    miss_count: int
+    region_header: int
+    region_depth: int
+    d_cycle: float
+    slice_size: int
+    live_ins: tuple[int, ...]
+    rejected: str = ""
+
+
+@dataclass
+class SlicerResult:
+    table: PThreadTable
+    reports: list[SliceReport] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> list[SliceReport]:
+        return [r for r in self.reports if not r.rejected]
+
+
+def find_delinquent_loads(profile: Profile, config: SlicerConfig) -> list[int]:
+    """Static load pcs that qualify as delinquent, worst first."""
+    total = profile.total_l1_misses
+    out: list[tuple[int, int]] = []
+    for pc, misses in profile.miss_counts.items():
+        if misses >= config.dload_miss_threshold or (
+                total and misses / total >= config.dload_miss_fraction
+                and misses >= 8):
+            out.append((pc, misses))
+    out.sort(key=lambda kv: -kv[1])
+    return [pc for pc, _ in out[:config.max_dloads]]
+
+
+def select_region(cfg: CFG, profile: Profile, dload_pc: int,
+                  config: SlicerConfig,
+                  latencies: LatencyConfig = LatencyConfig()
+                  ) -> tuple[Loop | None, float]:
+    """Region-based prefetching range: grow outward within the budget."""
+    loop = cfg.innermost_loop_of_pc(dload_pc)
+    if loop is None:
+        return None, 0.0
+    accumulated = profile.loops[loop.header].d_cycle(latencies)
+    chosen = loop
+    if config.region_policy == "innermost":
+        return chosen, accumulated
+    while True:
+        parent_header = chosen.parent
+        if parent_header is None:
+            break
+        parent = cfg.loops[parent_header]
+        parent_dcycle = profile.loops[parent_header].d_cycle(latencies)
+        if (config.region_policy == "budget"
+                and accumulated + parent_dcycle > config.dcycle_budget):
+            break
+        if cfg.loop_contains_call(parent):
+            break  # regions never cross function calls (§4.2)
+        chosen = parent
+        accumulated += parent_dcycle
+    return chosen, accumulated
+
+
+def backward_slice(cfg: CFG, profile: Profile, dload_pc: int,
+                   region_pcs: set[int], config: SlicerConfig) -> set[int]:
+    """Dynamic backward slice of one d-load, restricted to the region."""
+    slice_pcs = {dload_pc}
+    worklist = [dload_pc]
+    exec_counts = profile.exec_counts
+    frac = config.dominant_edge_fraction
+    while worklist:
+        pc = worklist.pop()
+        execs = exec_counts.get(pc, 0)
+        if not execs:
+            continue
+        min_count = max(1, int(execs * frac))
+        producer_maps = [profile.reg_edges.get(pc)]
+        if config.follow_memory_deps:
+            producer_maps.append(profile.mem_edges.get(pc))
+        for producers in producer_maps:
+            if not producers:
+                continue
+            for producer_pc, count in producers.items():
+                if count < min_count:
+                    continue  # cold-path producer: prune (Figure 5)
+                if producer_pc not in region_pcs:
+                    continue  # outside the prefetching range
+                if producer_pc not in slice_pcs:
+                    if config.max_slice_size and \
+                            len(slice_pcs) >= config.max_slice_size:
+                        return slice_pcs
+                    slice_pcs.add(producer_pc)
+                    worklist.append(producer_pc)
+    return slice_pcs
+
+
+def compute_live_ins(cfg: CFG, slice_pcs: set[int]) -> tuple[int, ...]:
+    """Registers read by the slice before any slice instruction writes them.
+
+    The PE extracts in program order, so scanning the static slice in
+    ascending pc order is the right approximation of first-use order.
+    """
+    instrs = cfg.program.instructions
+    written: set[int] = set()
+    live: set[int] = set()
+    for pc in sorted(slice_pcs):
+        ins = instrs[pc]
+        for r in ins.srcs:
+            if r not in written:
+                live.add(r)
+        if ins.dst >= 0:
+            written.add(ins.dst)
+    return tuple(sorted(live))
+
+
+def build_pthreads(cfg: CFG, profile: Profile,
+                   config: SlicerConfig | None = None,
+                   latencies: LatencyConfig = LatencyConfig()) -> SlicerResult:
+    """The full module-③ pipeline: d-loads → regions → slices → table."""
+    config = config or SlicerConfig()
+    table = PThreadTable()
+    reports: list[SliceReport] = []
+
+    for dload_pc in find_delinquent_loads(profile, config):
+        misses = profile.miss_counts[dload_pc]
+        region, d_cycle = select_region(cfg, profile, dload_pc, config,
+                                        latencies)
+        if region is None:
+            reports.append(SliceReport(dload_pc, misses, -1, 0, 0.0, 0, (),
+                                       rejected="not inside any loop"))
+            continue
+        region_pcs = cfg.loop_pcs(region)
+        slice_pcs = backward_slice(cfg, profile, dload_pc, region_pcs, config)
+        live_ins = compute_live_ins(cfg, slice_pcs)
+        overlap = slice_pcs & table.marked_pcs
+        pthread = PThread(dload_pc=dload_pc,
+                          slice_pcs=frozenset(slice_pcs),
+                          live_ins=live_ins,
+                          region_head=cfg.blocks[region.header].start,
+                          d_cycle=d_cycle,
+                          miss_count=misses)
+        table.add(pthread)
+        reports.append(SliceReport(
+            dload_pc, misses, region.header, region.depth, d_cycle,
+            len(slice_pcs), live_ins,
+            rejected=""))
+        del overlap  # overlapping slices are fine: marking is a union
+    return SlicerResult(table, reports)

@@ -1,0 +1,143 @@
+"""Quantitative trigger-point analysis.
+
+The paper (§2.1) notes that all prior work — itself included — places
+triggers heuristically, and that "a more quantitative analysis of the
+trigger point might improve the performance of the speculative
+prefetching" (its reference [21]).  This module provides that analysis for
+compiled p-threads:
+
+* **slice critical path** — the longest dependence chain through the
+  static slice, using the machine's operation latencies and a
+  profile-weighted memory latency for each load in the slice;
+* **expected trigger lead** — how many cycles ahead of the main thread
+  the triggering d-load instance sits when pre-execution starts, derived
+  from the trigger occupancy threshold and the profiled IPC estimate;
+* **timeliness margin** — lead minus critical path.  A positive margin
+  predicts the prefetch completes before the main thread arrives; a
+  negative one predicts late (partial-latency) prefetches, fft-style.
+
+The analysis is static-plus-profile — exactly the information the SPEAR
+compiler already has — so it can be used as a compile-time filter
+(``SlicerConfig`` consumers may drop untimely p-threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.configs import MachineConfig, OP_LATENCY, SPEAR_128
+from ..core.pthread import PThread, PThreadTable
+from ..memory.hierarchy import LatencyConfig
+from .cfg import CFG
+from .profiler import Profile
+
+
+@dataclass
+class TriggerReport:
+    """Predicted timeliness of one p-thread."""
+
+    dload_pc: int
+    slice_size: int
+    critical_path_cycles: float
+    expected_lead_cycles: float
+    livein_copy_cycles: int
+
+    @property
+    def margin(self) -> float:
+        """Positive: the prefetch is expected to be timely."""
+        return (self.expected_lead_cycles - self.livein_copy_cycles
+                - self.critical_path_cycles)
+
+    @property
+    def timely(self) -> bool:
+        return self.margin > 0
+
+    def render(self) -> str:
+        verdict = "timely" if self.timely else "LATE"
+        return (f"d-load pc {self.dload_pc:5d}: slice {self.slice_size:4d}, "
+                f"critical path {self.critical_path_cycles:7.1f} cy, "
+                f"lead {self.expected_lead_cycles:7.1f} cy, "
+                f"copy {self.livein_copy_cycles:2d} cy -> "
+                f"margin {self.margin:+8.1f} ({verdict})")
+
+
+def _expected_load_latency(pc: int, profile: Profile,
+                           latencies: LatencyConfig) -> float:
+    """Profile-weighted latency of one static load."""
+    loads = profile.load_counts.get(pc, 0)
+    if not loads:
+        return latencies.l1
+    miss_rate = profile.miss_counts.get(pc, 0) / loads
+    # L1 misses mostly go to memory on the d-load paths that matter here;
+    # weight between L2 and DRAM by how badly the load misses.
+    miss_cost = latencies.l2 + (latencies.memory - latencies.l2) * miss_rate
+    return latencies.l1 * (1 - miss_rate) + miss_cost * miss_rate
+
+
+def slice_critical_path(cfg: CFG, pthread: PThread, profile: Profile,
+                        latencies: LatencyConfig) -> float:
+    """Longest dependence chain through the static slice, in cycles.
+
+    Instructions are visited in pc order (the PE extracts in program
+    order); each one completes after its latest producer in the slice plus
+    its own latency.  Loads use the profile-weighted memory latency.
+    """
+    instrs = cfg.program.instructions
+    ready_at: dict[int, float] = {}   # register -> cycles until value ready
+    longest = 0.0
+    for pc in sorted(pthread.slice_pcs):
+        ins = instrs[pc]
+        start = 0.0
+        for r in ins.srcs:
+            start = max(start, ready_at.get(r, 0.0))
+        if ins.is_load:
+            lat = _expected_load_latency(pc, profile, latencies)
+        else:
+            lat = float(OP_LATENCY[int(ins.op_class)])
+        finish = start + lat
+        if ins.dst >= 0:
+            ready_at[ins.dst] = finish
+        longest = max(longest, finish)
+    return longest
+
+
+def expected_lead(pthread: PThread, profile: Profile,
+                  machine: MachineConfig) -> float:
+    """Cycles between trigger and the main thread reaching the d-load.
+
+    At trigger time the d-load instance has just entered the IFQ and the
+    occupancy is at least the threshold, so the main thread must first
+    decode/execute ~``trigger_occupancy`` instructions.  The main thread's
+    pace is estimated from the profile: one cycle per instruction plus the
+    L2-weighted cost of its L1 misses (the same cost model as the
+    d-cycle).
+    """
+    instrs = max(1, profile.total_instrs)
+    est_cpi = 1.0 + (profile.total_l1_misses / instrs) * machine.latencies.l2
+    return machine.trigger_occupancy * est_cpi
+
+
+def analyze_triggers(cfg: CFG, profile: Profile, table: PThreadTable,
+                     machine: MachineConfig = SPEAR_128
+                     ) -> list[TriggerReport]:
+    """Predict the timeliness of every p-thread in the table."""
+    out = []
+    for pthread in table:
+        out.append(TriggerReport(
+            dload_pc=pthread.dload_pc,
+            slice_size=pthread.size,
+            critical_path_cycles=slice_critical_path(
+                cfg, pthread, profile, machine.latencies),
+            expected_lead_cycles=expected_lead(pthread, profile, machine),
+            livein_copy_cycles=(len(pthread.live_ins)
+                                * machine.livein_copy_cycles)))
+    out.sort(key=lambda r: r.margin)
+    return out
+
+
+def render_trigger_analysis(reports: list[TriggerReport]) -> str:
+    lines = ["Trigger-point analysis (margin = lead - copy - critical path)"]
+    lines += [f"  {r.render()}" for r in reports]
+    timely = sum(1 for r in reports if r.timely)
+    lines.append(f"  {timely}/{len(reports)} p-thread(s) predicted timely")
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""SPEAR core: p-thread descriptors, machine configs, the SPEAR binary."""
+
+from .configs import (BASELINE, OP_LATENCY, PAPER_CONFIGS, SPEAR_128,
+                      SPEAR_256, SPEAR_SF_128, SPEAR_SF_256, FUConfig,
+                      MachineConfig)
+from .pthread import PThread, PThreadTable
+from .spear_binary import SpearBinary
+
+__all__ = ["BASELINE", "OP_LATENCY", "PAPER_CONFIGS", "SPEAR_128",
+           "SPEAR_256", "SPEAR_SF_128", "SPEAR_SF_256", "FUConfig",
+           "MachineConfig", "PThread", "PThreadTable", "SpearBinary"]

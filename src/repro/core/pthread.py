@@ -1,0 +1,136 @@
+"""P-thread descriptors: the interface between compiler and hardware.
+
+The SPEAR compiler identifies, per delinquent load, the set of static
+instructions forming its backward slice (the *p-thread*), the registers
+whose values must be copied from the main thread at trigger time
+(*live-ins*), and bookkeeping about the region the slice was drawn from.
+The attacher serializes this as the annotation section of a SPEAR binary;
+the hardware's pre-decode stage loads it into the PD (delinquent-load
+detector) and PT (p-thread indicator) tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PThread:
+    """One delinquent load's prefetching thread.
+
+    Attributes
+    ----------
+    dload_pc:
+        Static address of the delinquent load.
+    slice_pcs:
+        Static addresses of every p-thread instruction (backward slice),
+        *including* ``dload_pc`` itself.
+    live_ins:
+        Unified register ids read by the slice before being written by it,
+        in ascending order.  Copying them costs one cycle each (paper §3.2).
+    region_head:
+        Header address of the loop region the slice was limited to
+        (diagnostics only).
+    d_cycle:
+        Estimated cycles of one region iteration, from profiling.
+    miss_count:
+        Profile miss count that made this load delinquent.
+    """
+
+    dload_pc: int
+    slice_pcs: frozenset[int]
+    live_ins: tuple[int, ...]
+    region_head: int = -1
+    d_cycle: float = 0.0
+    miss_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dload_pc not in self.slice_pcs:
+            raise ValueError(
+                f"d-load pc {self.dload_pc} must be part of its own slice")
+        if list(self.live_ins) != sorted(set(self.live_ins)):
+            raise ValueError("live_ins must be sorted and unique")
+
+    @property
+    def size(self) -> int:
+        """Number of static p-thread instructions."""
+        return len(self.slice_pcs)
+
+    def to_dict(self) -> dict:
+        return {"dload_pc": self.dload_pc,
+                "slice_pcs": sorted(self.slice_pcs),
+                "live_ins": list(self.live_ins),
+                "region_head": self.region_head,
+                "d_cycle": self.d_cycle,
+                "miss_count": self.miss_count}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PThread":
+        return cls(dload_pc=d["dload_pc"],
+                   slice_pcs=frozenset(d["slice_pcs"]),
+                   live_ins=tuple(d["live_ins"]),
+                   region_head=d.get("region_head", -1),
+                   d_cycle=d.get("d_cycle", 0.0),
+                   miss_count=d.get("miss_count", 0))
+
+
+@dataclass
+class PThreadTable:
+    """All p-threads of one SPEAR binary.
+
+    Precomputes the two hardware lookup sets: ``dload_pcs`` feeds the PD
+    (trigger detection) and ``marked_pcs`` feeds the PT (indicator marking
+    at pre-decode).
+    """
+
+    pthreads: dict[int, PThread] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.dload_pcs: frozenset[int] = frozenset(self.pthreads)
+        marked: set[int] = set()
+        for pt in self.pthreads.values():
+            marked |= pt.slice_pcs
+        self.marked_pcs: frozenset[int] = frozenset(marked)
+
+    def add(self, pthread: PThread) -> None:
+        if pthread.dload_pc in self.pthreads:
+            raise ValueError(f"duplicate p-thread for pc {pthread.dload_pc}")
+        self.pthreads[pthread.dload_pc] = pthread
+        self._rebuild()
+
+    def __len__(self) -> int:
+        return len(self.pthreads)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self.pthreads
+
+    def __getitem__(self, pc: int) -> PThread:
+        return self.pthreads[pc]
+
+    def __iter__(self):
+        return iter(self.pthreads.values())
+
+    @property
+    def total_slice_size(self) -> int:
+        return sum(p.size for p in self.pthreads.values())
+
+    @property
+    def mean_slice_size(self) -> float:
+        return self.total_slice_size / len(self.pthreads) if self.pthreads else 0.0
+
+    def to_dict(self) -> dict:
+        return {"pthreads": [p.to_dict() for p in self.pthreads.values()]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PThreadTable":
+        table = cls()
+        for pd in d.get("pthreads", []):
+            table.add(PThread.from_dict(pd))
+        return table
+
+    @classmethod
+    def empty(cls) -> "PThreadTable":
+        return cls()

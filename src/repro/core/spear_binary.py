@@ -1,0 +1,80 @@
+"""The SPEAR binary: a program plus its p-thread annotation section.
+
+This is what the paper's attaching tool (compiler module 4) produces and
+what the hardware loads at program start.  The annotation is strictly
+additive — the text segment is byte-identical to the original binary, and a
+``SpearBinary`` with an empty table behaves exactly like the plain program.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..isa.program import DataSegment, Program
+from .pthread import PThreadTable
+
+
+@dataclass
+class SpearBinary:
+    """Program + p-thread table, serializable as one artifact."""
+
+    program: Program
+    table: PThreadTable
+
+    def __post_init__(self) -> None:
+        n = len(self.program)
+        for pt in self.table:
+            for pc in pt.slice_pcs:
+                if not 0 <= pc < n:
+                    raise ValueError(
+                        f"p-thread pc {pc} outside text segment (size {n})")
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def to_dict(self) -> dict:
+        """Serialize, including the encoded text segment."""
+        return {
+            "name": self.program.name,
+            "mem_bytes": self.program.mem_bytes,
+            "text": [int(w) for w in self.program.encode()],
+            "labels": dict(self.program.labels),
+            "segments": [
+                {"addr": seg.addr,
+                 "dtype": str(seg.values.dtype),
+                 "values": seg.values.tolist()}
+                for seg in self.program.segments
+            ],
+            "pthread_table": self.table.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpearBinary":
+        segments = [
+            DataSegment(s["addr"], np.array(s["values"], dtype=s["dtype"]))
+            for s in d.get("segments", [])
+        ]
+        program = Program.from_words(
+            np.array(d["text"], dtype=np.uint64),
+            name=d.get("name", "program"),
+            labels=d.get("labels", {}),
+            segments=segments,
+            mem_bytes=d.get("mem_bytes", 8 << 20))
+        return cls(program, PThreadTable.from_dict(d["pthread_table"]))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SpearBinary":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def plain(cls, program: Program) -> "SpearBinary":
+        """A SPEAR binary with no p-threads (baseline-equivalent)."""
+        return cls(program, PThreadTable.empty())

@@ -1,0 +1,7 @@
+"""Functional (architectural) simulation of SPISA programs."""
+
+from .simulator import FunctionalSimulator, SimulationError, run_program
+from .trace import Trace, TraceEntry
+
+__all__ = ["FunctionalSimulator", "SimulationError", "run_program",
+           "Trace", "TraceEntry"]

@@ -1,0 +1,328 @@
+"""Architectural (functional) simulator for SPISA programs.
+
+Executes a :class:`~repro.isa.Program` instruction-by-instruction with full
+architectural semantics: 32 int + 32 fp registers, byte-addressed memory
+with 8-byte words, two's-complement 64-bit integer arithmetic.
+
+The simulator is the repository's ground truth: the SPEAR compiler profiles
+with it and the timing model replays traces produced by it.  The interpreter
+loop is written as one flat dispatch chain — per the HPC guide, the hot loop
+avoids per-step allocation and attribute lookups where practical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.opcodes import FP_BASE, Op, ZERO_REG
+from ..isa.program import Program, WORD_SIZE
+from .trace import Trace, TraceEntry
+
+_I64_MASK = (1 << 64) - 1
+_I64_SIGN = 1 << 63
+
+
+def _wrap64(v: int) -> int:
+    """Wrap a Python int to signed 64-bit two's complement."""
+    v &= _I64_MASK
+    return v - (1 << 64) if v & _I64_SIGN else v
+
+
+class SimulationError(RuntimeError):
+    """Raised on architectural faults (bad PC, unaligned/OOB access...)."""
+
+    def __init__(self, message: str, pc: int = -1):
+        super().__init__(f"pc={pc}: {message}" if pc >= 0 else message)
+        self.pc = pc
+
+
+class FunctionalSimulator:
+    """Interprets SPISA programs and optionally records committed traces."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.instructions = program.instructions
+        self.reset()
+
+    def reset(self) -> None:
+        """Reinitialize architectural state and reload data segments."""
+        self.iregs: list[int] = [0] * 32
+        self.fregs: list[float] = [0.0] * 32
+        self.mem = self.program.build_memory()
+        self.mem_words = self.mem.view(np.int64)
+        self.mem_fwords = self.mem.view(np.float64)
+        self.pc = 0
+        self.halted = False
+        self.instret = 0
+        #: Per-static-pc execution counts (filled when ``count_pcs=True``).
+        self.pc_counts: dict[int, int] = {}
+
+    # -- architectural accessors (used by tests and tools) ---------------------
+
+    def read_ireg(self, r: int) -> int:
+        return self.iregs[r]
+
+    def write_ireg(self, r: int, v: int) -> None:
+        if r != ZERO_REG:
+            self.iregs[r] = _wrap64(v)
+
+    def read_freg(self, f: int) -> float:
+        return self.fregs[f]
+
+    def write_freg(self, f: int, v: float) -> None:
+        self.fregs[f] = float(v)
+
+    def read_word(self, addr: int) -> int:
+        self._check_word(addr)
+        return int(self.mem_words[addr >> 3])
+
+    def read_fword(self, addr: int) -> float:
+        self._check_word(addr)
+        return float(self.mem_fwords[addr >> 3])
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check_word(addr)
+        self.mem_words[addr >> 3] = _wrap64(value)
+
+    def write_fword(self, addr: int, value: float) -> None:
+        self._check_word(addr)
+        self.mem_fwords[addr >> 3] = value
+
+    def _check_word(self, addr: int) -> None:
+        if addr % WORD_SIZE != 0:
+            raise SimulationError(f"unaligned word access at {addr:#x}", self.pc)
+        if not 0 <= addr < len(self.mem):
+            raise SimulationError(f"out-of-bounds access at {addr:#x}", self.pc)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000, *, trace: bool = False,
+            count_pcs: bool = False) -> Trace:
+        """Run until ``halt`` or the instruction limit.
+
+        Returns the committed-path :class:`Trace` (empty entries list when
+        ``trace=False``).
+        """
+        entries: list[TraceEntry] = []
+        instrs = self.instructions
+        n_instrs = len(instrs)
+        iregs = self.iregs
+        fregs = self.fregs
+        mem = self.mem
+        mem_words = self.mem_words
+        mem_fwords = self.mem_fwords
+        mem_len = len(mem)
+        pc = self.pc
+        executed = 0
+        pc_counts = self.pc_counts
+
+        while executed < max_instructions:
+            if not 0 <= pc < n_instrs:
+                raise SimulationError("pc outside text segment", pc)
+            ins = instrs[pc]
+            op = ins.op
+            next_pc = pc + 1
+            addr = -1
+            taken = False
+
+            if op == Op.ADD:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] + iregs[ins.rs2])
+            elif op == Op.ADDI:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] + ins.imm)
+            elif op == Op.LW:
+                addr = iregs[ins.rs1] + ins.imm
+                if addr % 8 or not 0 <= addr < mem_len:
+                    raise SimulationError(f"bad load address {addr:#x}", pc)
+                iregs[ins.rd] = int(mem_words[addr >> 3])
+            elif op == Op.SW:
+                addr = iregs[ins.rs1] + ins.imm
+                if addr % 8 or not 0 <= addr < mem_len:
+                    raise SimulationError(f"bad store address {addr:#x}", pc)
+                mem_words[addr >> 3] = iregs[ins.rd]
+            elif op == Op.SUB:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] - iregs[ins.rs2])
+            elif op == Op.LI:
+                iregs[ins.rd] = _wrap64(ins.imm)
+            elif op == Op.MOV:
+                iregs[ins.rd] = iregs[ins.rs1]
+            elif op == Op.SLLI:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] << (ins.imm & 63))
+            elif op == Op.SRLI:
+                iregs[ins.rd] = (iregs[ins.rs1] & _I64_MASK) >> (ins.imm & 63)
+            elif op == Op.SRAI:
+                iregs[ins.rd] = iregs[ins.rs1] >> (ins.imm & 63)
+            elif op == Op.ANDI:
+                iregs[ins.rd] = iregs[ins.rs1] & ins.imm
+            elif op == Op.ORI:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] | ins.imm)
+            elif op == Op.XORI:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] ^ ins.imm)
+            elif op == Op.AND:
+                iregs[ins.rd] = iregs[ins.rs1] & iregs[ins.rs2]
+            elif op == Op.OR:
+                iregs[ins.rd] = iregs[ins.rs1] | iregs[ins.rs2]
+            elif op == Op.XOR:
+                iregs[ins.rd] = iregs[ins.rs1] ^ iregs[ins.rs2]
+            elif op == Op.SLL:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] << (iregs[ins.rs2] & 63))
+            elif op == Op.SRL:
+                iregs[ins.rd] = (iregs[ins.rs1] & _I64_MASK) >> (iregs[ins.rs2] & 63)
+            elif op == Op.SRA:
+                iregs[ins.rd] = iregs[ins.rs1] >> (iregs[ins.rs2] & 63)
+            elif op == Op.SLT:
+                iregs[ins.rd] = 1 if iregs[ins.rs1] < iregs[ins.rs2] else 0
+            elif op == Op.SLTU:
+                iregs[ins.rd] = 1 if (iregs[ins.rs1] & _I64_MASK) < (iregs[ins.rs2] & _I64_MASK) else 0
+            elif op == Op.SLTI:
+                iregs[ins.rd] = 1 if iregs[ins.rs1] < ins.imm else 0
+            elif op == Op.MUL:
+                iregs[ins.rd] = _wrap64(iregs[ins.rs1] * iregs[ins.rs2])
+            elif op == Op.DIV:
+                d = iregs[ins.rs2]
+                if d == 0:
+                    raise SimulationError("integer division by zero", pc)
+                iregs[ins.rd] = _wrap64(int(iregs[ins.rs1] / d))
+            elif op == Op.REM:
+                d = iregs[ins.rs2]
+                if d == 0:
+                    raise SimulationError("integer remainder by zero", pc)
+                a = iregs[ins.rs1]
+                iregs[ins.rd] = _wrap64(a - int(a / d) * d)
+            elif op == Op.LB:
+                addr = iregs[ins.rs1] + ins.imm
+                if not 0 <= addr < mem_len:
+                    raise SimulationError(f"bad load address {addr:#x}", pc)
+                iregs[ins.rd] = int(mem[addr])
+            elif op == Op.SB:
+                addr = iregs[ins.rs1] + ins.imm
+                if not 0 <= addr < mem_len:
+                    raise SimulationError(f"bad store address {addr:#x}", pc)
+                mem[addr] = iregs[ins.rd] & 0xFF
+            elif op == Op.FLW:
+                addr = iregs[ins.rs1] + ins.imm
+                if addr % 8 or not 0 <= addr < mem_len:
+                    raise SimulationError(f"bad load address {addr:#x}", pc)
+                fregs[ins.rd - FP_BASE] = float(mem_fwords[addr >> 3])
+            elif op == Op.FSW:
+                addr = iregs[ins.rs1] + ins.imm
+                if addr % 8 or not 0 <= addr < mem_len:
+                    raise SimulationError(f"bad store address {addr:#x}", pc)
+                mem_fwords[addr >> 3] = fregs[ins.rd - FP_BASE]
+            elif op == Op.FADD:
+                fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE] + fregs[ins.rs2 - FP_BASE]
+            elif op == Op.FSUB:
+                fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE] - fregs[ins.rs2 - FP_BASE]
+            elif op == Op.FMUL:
+                fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE] * fregs[ins.rs2 - FP_BASE]
+            elif op == Op.FDIV:
+                d = fregs[ins.rs2 - FP_BASE]
+                if d == 0.0:
+                    raise SimulationError("float division by zero", pc)
+                fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE] / d
+            elif op == Op.FSQRT:
+                v = fregs[ins.rs1 - FP_BASE]
+                if v < 0.0:
+                    raise SimulationError("sqrt of negative value", pc)
+                fregs[ins.rd - FP_BASE] = v ** 0.5
+            elif op == Op.FNEG:
+                fregs[ins.rd - FP_BASE] = -fregs[ins.rs1 - FP_BASE]
+            elif op == Op.FABS:
+                fregs[ins.rd - FP_BASE] = abs(fregs[ins.rs1 - FP_BASE])
+            elif op == Op.FMIN:
+                fregs[ins.rd - FP_BASE] = min(fregs[ins.rs1 - FP_BASE], fregs[ins.rs2 - FP_BASE])
+            elif op == Op.FMAX:
+                fregs[ins.rd - FP_BASE] = max(fregs[ins.rs1 - FP_BASE], fregs[ins.rs2 - FP_BASE])
+            elif op == Op.FLT:
+                iregs[ins.rd] = 1 if fregs[ins.rs1 - FP_BASE] < fregs[ins.rs2 - FP_BASE] else 0
+            elif op == Op.FLE:
+                iregs[ins.rd] = 1 if fregs[ins.rs1 - FP_BASE] <= fregs[ins.rs2 - FP_BASE] else 0
+            elif op == Op.FEQ:
+                iregs[ins.rd] = 1 if fregs[ins.rs1 - FP_BASE] == fregs[ins.rs2 - FP_BASE] else 0
+            elif op == Op.CVTIF:
+                fregs[ins.rd - FP_BASE] = float(iregs[ins.rs1])
+            elif op == Op.CVTFI:
+                iregs[ins.rd] = _wrap64(int(fregs[ins.rs1 - FP_BASE]))
+            elif op == Op.FMOV:
+                fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE]
+            elif op == Op.BEQ:
+                taken = iregs[ins.rs1] == iregs[ins.rs2]
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.BNE:
+                taken = iregs[ins.rs1] != iregs[ins.rs2]
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.BLT:
+                taken = iregs[ins.rs1] < iregs[ins.rs2]
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.BGE:
+                taken = iregs[ins.rs1] >= iregs[ins.rs2]
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.BLTZ:
+                taken = iregs[ins.rs1] < 0
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.BGEZ:
+                taken = iregs[ins.rs1] >= 0
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.BGTZ:
+                taken = iregs[ins.rs1] > 0
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.BLEZ:
+                taken = iregs[ins.rs1] <= 0
+                if taken:
+                    next_pc = ins.imm
+            elif op == Op.J:
+                taken = True
+                next_pc = ins.imm
+            elif op == Op.JAL:
+                taken = True
+                iregs[ins.rd] = pc + 1
+                next_pc = ins.imm
+            elif op == Op.JR:
+                taken = True
+                next_pc = iregs[ins.rs1]
+            elif op == Op.JALR:
+                taken = True
+                target = iregs[ins.rs1]
+                iregs[ins.rd] = pc + 1
+                next_pc = target
+            elif op == Op.NOP:
+                pass
+            elif op == Op.HALT:
+                self.halted = True
+                executed += 1
+                if count_pcs:
+                    pc_counts[pc] = pc_counts.get(pc, 0) + 1
+                break
+            else:  # pragma: no cover - every opcode is handled above
+                raise SimulationError(f"unimplemented opcode {op.name}", pc)
+
+            # The zero register is architecturally immutable.
+            iregs[0] = 0
+
+            if trace:
+                entries.append(TraceEntry(
+                    pc, int(ins.op_class), ins.srcs, ins.dst, addr, taken,
+                    ins.is_load, ins.is_store, ins.is_branch,
+                    ins.is_conditional))
+            if count_pcs:
+                pc_counts[pc] = pc_counts.get(pc, 0) + 1
+
+            pc = next_pc
+            executed += 1
+
+        self.pc = pc
+        self.instret += executed
+        return Trace(entries, program_name=self.program.name,
+                     halted=self.halted)
+
+
+def run_program(program: Program, max_instructions: int = 10_000_000,
+                *, trace: bool = True) -> Trace:
+    """Convenience wrapper: execute ``program`` and return its trace."""
+    return FunctionalSimulator(program).run(max_instructions, trace=trace)

@@ -1,0 +1,92 @@
+"""Committed-path execution traces.
+
+The functional simulator emits one :class:`TraceEntry` per architecturally
+executed instruction.  Traces are the interchange format between the
+functional layer and both consumers:
+
+* the **profiler** (`repro.compiler.profiler`) replays a trace against a
+  cache model to find delinquent loads and dynamic dependence edges;
+* the **timing model** (`repro.pipeline`) replays a trace through the
+  cycle-level SMT pipeline — the oracle-trace substitution documented in
+  DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import OpClass
+
+
+class TraceEntry:
+    """One dynamic instruction on the committed path.
+
+    Attributes are deliberately flat scalars/tuples — this object is
+    allocated once per simulated instruction and read many times in the
+    timing model's inner loop.
+    """
+
+    __slots__ = ("pc", "op_class", "srcs", "dst", "addr", "taken",
+                 "is_load", "is_store", "is_branch", "is_cond")
+
+    def __init__(self, pc: int, op_class: int, srcs: tuple, dst: int,
+                 addr: int, taken: bool, is_load: bool, is_store: bool,
+                 is_branch: bool, is_cond: bool):
+        self.pc = pc
+        self.op_class = op_class
+        self.srcs = srcs
+        self.dst = dst
+        #: Byte address touched, or -1 for non-memory instructions.
+        self.addr = addr
+        self.taken = taken
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_branch = is_branch
+        self.is_cond = is_cond
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = ("L" if self.is_load else "S" if self.is_store else
+                "B" if self.is_branch else ".")
+        return f"<T pc={self.pc} {OpClass(self.op_class).name} {kind} addr={self.addr}>"
+
+
+class Trace:
+    """A complete committed-path trace plus summary statistics."""
+
+    __slots__ = ("entries", "program_name", "halted", "instret")
+
+    def __init__(self, entries: list[TraceEntry], *, program_name: str = "",
+                 halted: bool = True):
+        self.entries = entries
+        self.program_name = program_name
+        #: True when execution reached ``halt`` (vs. hitting the run limit).
+        self.halted = halted
+        self.instret = len(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, i):
+        return self.entries[i]
+
+    # -- summary statistics --------------------------------------------------
+
+    def count_loads(self) -> int:
+        return sum(1 for e in self.entries if e.is_load)
+
+    def count_stores(self) -> int:
+        return sum(1 for e in self.entries if e.is_store)
+
+    def count_branches(self, conditional_only: bool = False) -> int:
+        if conditional_only:
+            return sum(1 for e in self.entries if e.is_cond)
+        return sum(1 for e in self.entries if e.is_branch)
+
+    def instructions_per_branch(self) -> float:
+        """IPB as reported in the paper's Table 3."""
+        nb = self.count_branches(conditional_only=True)
+        return len(self.entries) / nb if nb else float("inf")
+
+    def load_fraction(self) -> float:
+        return self.count_loads() / len(self.entries) if self.entries else 0.0

@@ -1,0 +1,16 @@
+"""Evaluation harness: runner, experiments (one per paper table/figure)."""
+
+from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
+                          LatencySweepResult, MissReductionResult,
+                          REGULAR_WORKLOADS, SpeedupResult, figure6, figure7,
+                          figure8, figure9, motivation, table1, table2,
+                          table3)
+from .runner import ExperimentRunner, WorkloadArtifacts
+from .tables import TextTable, arithmetic_mean, geometric_mean
+
+__all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
+           "REGULAR_WORKLOADS", "motivation", "LatencySweepResult",
+           "MissReductionResult", "SpeedupResult", "figure6", "figure7",
+           "figure8", "figure9", "table1", "table2", "table3",
+           "ExperimentRunner", "WorkloadArtifacts", "TextTable",
+           "arithmetic_mean", "geometric_mean"]

@@ -1,0 +1,111 @@
+"""Experiment runner: compile-once, trace-once, simulate-many.
+
+Ties the whole system together for the evaluation: for each workload it
+
+1. builds the ``train`` and ``eval`` program variants,
+2. runs the SPEAR compiler on the training variant (profiling input),
+3. generates the evaluation committed-path trace, and
+4. replays that trace through any number of machine configurations.
+
+Traces, compiled binaries and results are memoized so a figure that needs
+the same (workload, config) pair as another figure pays nothing extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.driver import CompileReport, compile_spear
+from ..compiler.slicer import SlicerConfig
+from ..core.configs import MachineConfig
+from ..core.spear_binary import SpearBinary
+from ..functional.simulator import FunctionalSimulator
+from ..functional.trace import Trace
+from ..memory.hierarchy import LatencyConfig, MemoryHierarchy
+from ..pipeline.smt import TimingSimulator
+from ..pipeline.stats import PipelineResult
+from ..workloads.base import Workload, get_workload
+
+
+@dataclass
+class WorkloadArtifacts:
+    """Everything derived from one workload, built lazily."""
+
+    workload: Workload
+    binary: SpearBinary
+    compile_report: CompileReport
+    eval_trace: Trace
+    #: prefix replayed functionally before measurement (cache/predictor
+    #: warmup — the paper's "skipped instructions")
+    warmup_trace: list
+
+
+class ExperimentRunner:
+    """Caching façade over the compile → trace → simulate pipeline."""
+
+    def __init__(self, *, slicer_config: SlicerConfig | None = None,
+                 instruction_scale: float = 1.0):
+        """``instruction_scale`` scales every workload's instruction budget
+        (useful to shrink CI runs or enlarge final ones)."""
+        self.slicer_config = slicer_config or SlicerConfig()
+        self.instruction_scale = instruction_scale
+        self._artifacts: dict[str, WorkloadArtifacts] = {}
+        self._results: dict[tuple, PipelineResult] = {}
+
+    # -- artifact construction ------------------------------------------------
+
+    def artifacts(self, name: str) -> WorkloadArtifacts:
+        art = self._artifacts.get(name)
+        if art is None:
+            art = self._build(name)
+            self._artifacts[name] = art
+        return art
+
+    def _build(self, name: str) -> WorkloadArtifacts:
+        workload = get_workload(name)
+        train = workload.program("train")
+        evalp = workload.program("eval")
+        profile_budget = int(workload.profile_instructions
+                             * self.instruction_scale)
+        binary, report, _ = compile_spear(
+            train, evalp, slicer_config=self.slicer_config,
+            max_profile_instructions=profile_budget)
+        eval_budget = int(workload.eval_instructions * self.instruction_scale)
+        warm_budget = int(workload.warmup_instructions * self.instruction_scale)
+        sim = FunctionalSimulator(evalp)
+        full = sim.run(warm_budget + eval_budget, trace=True)
+        # A workload that halts early still needs a measurable window.
+        warm_budget = min(warm_budget, max(0, len(full.entries) - eval_budget))
+        warmup = full.entries[:warm_budget]
+        measured = Trace(full.entries[warm_budget:],
+                         program_name=full.program_name, halted=full.halted)
+        return WorkloadArtifacts(workload, binary, report, measured, warmup)
+
+    # -- simulation -----------------------------------------------------------
+
+    def run(self, name: str, config: MachineConfig,
+            latencies: LatencyConfig | None = None) -> PipelineResult:
+        """Simulate one workload under one machine configuration."""
+        if latencies is not None:
+            config = config.with_latencies(latencies)
+        key = (name, config)
+        result = self._results.get(key)
+        if result is None:
+            art = self.artifacts(name)
+            memory = MemoryHierarchy(latencies=config.latencies)
+            sim = TimingSimulator(art.eval_trace, config, art.binary.table,
+                                  memory, warmup=art.warmup_trace)
+            result = sim.run()
+            self._results[key] = result
+        return result
+
+    def speedup(self, name: str, config: MachineConfig,
+                baseline: MachineConfig,
+                latencies: LatencyConfig | None = None) -> float:
+        """Normalized IPC of ``config`` over ``baseline``."""
+        return (self.run(name, config, latencies).ipc
+                / self.run(name, baseline, latencies).ipc)
+
+    def clear(self) -> None:
+        self._artifacts.clear()
+        self._results.clear()

@@ -1,0 +1,24 @@
+"""SPISA: the SPEAR Portable Instruction Set Architecture.
+
+The instruction set, assembler, program builder and binary encoding that
+every other subsystem (functional simulator, SPEAR compiler, timing model)
+operates on.
+"""
+
+from .assembler import AssemblerError, assemble
+from .builder import Label, ProgramBuilder
+from .disasm import disassemble, disassemble_words
+from .encoding import decode, decode_program, encode, encode_program
+from .instruction import Instruction
+from .opcodes import (FP_BASE, LINK_REG, NUM_FP_REGS, NUM_INT_REGS, NUM_REGS,
+                      OP_INFO, ZERO_REG, Fmt, Op, OpClass, parse_reg, reg_name)
+from .program import DEFAULT_MEM_BYTES, DataSegment, Program, WORD_SIZE
+
+__all__ = [
+    "AssemblerError", "assemble", "Label", "ProgramBuilder", "disassemble",
+    "disassemble_words", "decode", "decode_program", "encode",
+    "encode_program", "Instruction", "FP_BASE", "LINK_REG", "NUM_FP_REGS",
+    "NUM_INT_REGS", "NUM_REGS", "OP_INFO", "ZERO_REG", "Fmt", "Op",
+    "OpClass", "parse_reg", "reg_name", "DEFAULT_MEM_BYTES", "DataSegment",
+    "Program", "WORD_SIZE",
+]

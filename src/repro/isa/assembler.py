@@ -1,0 +1,207 @@
+"""Two-pass text assembler for SPISA.
+
+Syntax
+------
+* One instruction, label or directive per line; ``#`` starts a comment.
+* Labels are ``name:`` on their own line or prefixing an instruction.
+* Operand forms follow :class:`~repro.isa.opcodes.Fmt`, e.g.::
+
+      loop:
+          lw   r3, 0(r2)        # load word
+          addi r2, r2, 8
+          bne  r3, r0, loop
+          halt
+
+* Directives:
+
+  - ``.name <str>`` — program name.
+  - ``.mem <bytes>`` — data memory size.
+  - ``.data <addr>`` — begin a data segment at byte address ``addr``;
+    subsequent ``.word v1 v2 ...`` / ``.float v1 v2 ...`` lines append.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from .instruction import Instruction
+from .opcodes import Fmt, LINK_REG, MNEMONIC_TO_OP, OP_INFO, parse_reg
+from .program import DataSegment, Program
+
+_LABEL_RE = re.compile(r"^(\.?[A-Za-z_][\w.$]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?\d+)\((\w+)\)$")
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input, with line information."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [p.strip() for p in rest.split(",")]
+
+
+def assemble(text: str, *, name: str = "program") -> Program:
+    """Assemble SPISA source text into a :class:`Program`."""
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    segments: list[DataSegment] = []
+    fixups: list[tuple[int, str, int]] = []  # (pc, label, lineno)
+    mem_bytes: int | None = None
+
+    cur_data_addr: int | None = None
+    cur_data: list[float] = []
+    cur_data_dtype: type | None = None
+
+    def flush_data() -> None:
+        nonlocal cur_data_addr, cur_data, cur_data_dtype
+        if cur_data_addr is not None and cur_data:
+            dtype = np.float64 if cur_data_dtype is float else np.int64
+            segments.append(DataSegment(cur_data_addr, np.array(cur_data, dtype=dtype)))
+        cur_data_addr = None
+        cur_data = []
+        cur_data_dtype = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        m = _LABEL_RE.match(line)
+        if m:
+            label, line = m.group(1), m.group(2).strip()
+            if label in labels:
+                raise AssemblerError(lineno, f"duplicate label {label!r}")
+            labels[label] = len(instructions)
+            if not line:
+                continue
+
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive, arg = parts[0], (parts[1] if len(parts) > 1 else "")
+            if directive == ".name":
+                name = arg.strip()
+            elif directive == ".mem":
+                mem_bytes = int(arg, 0)
+            elif directive == ".data":
+                flush_data()
+                cur_data_addr = int(arg, 0)
+            elif directive in (".word", ".float"):
+                if cur_data_addr is None:
+                    raise AssemblerError(lineno, f"{directive} outside .data block")
+                conv = int if directive == ".word" else float
+                newtype = int if directive == ".word" else float
+                if cur_data_dtype is None:
+                    cur_data_dtype = newtype
+                elif cur_data_dtype is not newtype:
+                    raise AssemblerError(lineno, "mixed .word/.float in one .data block")
+                try:
+                    cur_data.extend(conv(v, 0) if conv is int else conv(v)
+                                    for v in arg.split())
+                except ValueError as exc:
+                    raise AssemblerError(lineno, str(exc)) from exc
+            else:
+                raise AssemblerError(lineno, f"unknown directive {directive}")
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        op = MNEMONIC_TO_OP.get(mnemonic)
+        if op is None:
+            raise AssemblerError(lineno, f"unknown mnemonic {mnemonic!r}")
+        info = OP_INFO[op]
+        ops = _split_operands(rest)
+        pc = len(instructions)
+
+        try:
+            instructions.append(
+                _build(op, info.fmt, ops, pc, fixups, labels, lineno))
+        except AssemblerError:
+            raise
+        except ValueError as exc:
+            raise AssemblerError(lineno, str(exc)) from exc
+
+    flush_data()
+
+    # Second pass: resolve label fixups.
+    for pc, label, lineno in fixups:
+        if label not in labels:
+            raise AssemblerError(lineno, f"undefined label {label!r}")
+        old = instructions[pc]
+        instructions[pc] = Instruction(old.op, rd=old.rd, rs1=old.rs1,
+                                       rs2=old.rs2, imm=labels[label],
+                                       label=label)
+
+    prog = Program(instructions, labels=labels, segments=segments, name=name)
+    if mem_bytes is not None:
+        prog.mem_bytes = mem_bytes
+    return prog
+
+
+def _target(tok: str, pc: int, fixups: list, labels: dict, lineno: int) -> tuple[int, str | None]:
+    """Resolve a branch target token: integer address or label."""
+    try:
+        return int(tok, 0), None
+    except ValueError:
+        fixups.append((pc, tok, lineno))
+        return 0, tok
+
+
+def _build(op, fmt: Fmt, ops: list[str], pc: int, fixups: list,
+           labels: dict, lineno: int) -> Instruction:
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(lineno, f"expected {n} operands, got {len(ops)}")
+
+    if fmt == Fmt.R:
+        need(3)
+        return Instruction(op, rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]),
+                           rs2=parse_reg(ops[2]))
+    if fmt == Fmt.I:
+        need(3)
+        return Instruction(op, rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]),
+                           imm=int(ops[2], 0))
+    if fmt == Fmt.LI:
+        need(2)
+        return Instruction(op, rd=parse_reg(ops[0]), imm=int(ops[1], 0))
+    if fmt == Fmt.M:
+        need(2)
+        m = _MEM_RE.match(ops[1])
+        if not m:
+            raise AssemblerError(lineno, f"bad memory operand {ops[1]!r}")
+        return Instruction(op, rd=parse_reg(ops[0]), rs1=parse_reg(m.group(2)),
+                           imm=int(m.group(1), 0))
+    if fmt == Fmt.B:
+        need(3)
+        imm, label = _target(ops[2], pc, fixups, labels, lineno)
+        return Instruction(op, rs1=parse_reg(ops[0]), rs2=parse_reg(ops[1]),
+                           imm=imm, label=label)
+    if fmt == Fmt.BZ:
+        need(2)
+        imm, label = _target(ops[1], pc, fixups, labels, lineno)
+        return Instruction(op, rs1=parse_reg(ops[0]), imm=imm, label=label)
+    if fmt == Fmt.J:
+        need(1)
+        imm, label = _target(ops[0], pc, fixups, labels, lineno)
+        rd = LINK_REG if OP_INFO[op].is_call else -1
+        return Instruction(op, rd=rd, imm=imm, label=label)
+    if fmt == Fmt.JR:
+        # Unary register ops: "op rd, rs1"; jumps: "op rs1".
+        if len(ops) == 2:
+            return Instruction(op, rd=parse_reg(ops[0]), rs1=parse_reg(ops[1]))
+        need(1)
+        rd = LINK_REG if OP_INFO[op].is_call else -1
+        return Instruction(op, rd=rd, rs1=parse_reg(ops[0]))
+    if fmt == Fmt.N:
+        need(0)
+        return Instruction(op)
+    raise AssemblerError(lineno, f"unhandled format {fmt}")

@@ -1,0 +1,356 @@
+"""Typed program-construction API.
+
+:class:`ProgramBuilder` is how the bundled workloads author SPISA programs
+from Python: it offers one emit method per opcode, label management with
+forward references, a bump allocator for data memory, and small structured
+helpers (counted loops).  It produces exactly the same :class:`Program`
+objects the text assembler does.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from .instruction import Instruction
+from .opcodes import LINK_REG, Op, parse_reg
+from .program import DataSegment, Program, WORD_SIZE
+
+RegLike = int | str
+
+
+def _r(reg: RegLike) -> int:
+    """Accept registers as unified ids or as names like ``"r5"``/``"f2"``."""
+    if isinstance(reg, str):
+        return parse_reg(reg)
+    return reg
+
+
+class Label:
+    """A (possibly not yet placed) branch target."""
+
+    __slots__ = ("name", "addr")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.addr: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Label({self.name!r}@{self.addr})"
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`.
+
+    Data memory layout is managed by a bump allocator starting at
+    ``data_base``; each :meth:`alloc` returns the byte address of the
+    region and records its initial contents as a data segment.
+    """
+
+    def __init__(self, name: str = "program", *, mem_bytes: int = 8 << 20,
+                 data_base: int = 0x1000):
+        self.name = name
+        self.mem_bytes = mem_bytes
+        self._instrs: list[Instruction] = []
+        self._labels: dict[str, Label] = {}
+        self._fixups: list[tuple[int, Label]] = []
+        self._data_cursor = data_base
+        self._segments: list[DataSegment] = []
+        self._label_counter = 0
+
+    # -- labels -------------------------------------------------------------
+
+    def label(self, name: str | None = None) -> Label:
+        """Create a label, optionally named; does not place it."""
+        if name is None:
+            name = f".L{self._label_counter}"
+            self._label_counter += 1
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        lab = Label(name)
+        self._labels[name] = lab
+        return lab
+
+    def place(self, label: Label) -> Label:
+        """Bind a label to the current instruction address."""
+        if label.addr is not None:
+            raise ValueError(f"label {label.name!r} already placed")
+        label.addr = len(self._instrs)
+        return label
+
+    def here(self, name: str | None = None) -> Label:
+        """Create *and* place a label at the current address."""
+        return self.place(self.label(name))
+
+    # -- data ---------------------------------------------------------------
+
+    def alloc(self, n_words: int, init: np.ndarray | list | None = None,
+              *, dtype=np.int64, align: int = WORD_SIZE) -> int:
+        """Reserve ``n_words`` 8-byte words of data memory.
+
+        Returns the byte address of the region.  If ``init`` is given it
+        becomes the region's initial contents (and fixes ``n_words``).
+        """
+        if init is not None:
+            arr = np.asarray(init, dtype=dtype)
+            if arr.ndim != 1:
+                arr = arr.ravel()
+            n_words = int(arr.size)
+        if n_words <= 0:
+            raise ValueError("allocation must be positive")
+        addr = -(-self._data_cursor // align) * align
+        self._data_cursor = addr + n_words * WORD_SIZE
+        if self._data_cursor > self.mem_bytes:
+            raise ValueError(
+                f"data allocation overflows memory ({self._data_cursor:#x} "
+                f"> {self.mem_bytes:#x}); raise mem_bytes")
+        if init is not None:
+            self._segments.append(DataSegment(addr, arr))
+        return addr
+
+    # -- raw emit -------------------------------------------------------------
+
+    def emit(self, op: Op, rd: int = -1, rs1: int = -1, rs2: int = -1,
+             imm: int = 0, target: Label | None = None) -> int:
+        """Append one instruction; returns its address."""
+        pc = len(self._instrs)
+        label_name = target.name if target is not None else None
+        self._instrs.append(Instruction(op, rd=rd, rs1=rs1, rs2=rs2,
+                                        imm=imm, label=label_name))
+        if target is not None:
+            self._fixups.append((pc, target))
+        return pc
+
+    # -- integer ALU ---------------------------------------------------------
+
+    def add(self, rd, rs1, rs2):
+        return self.emit(Op.ADD, _r(rd), _r(rs1), _r(rs2))
+
+    def sub(self, rd, rs1, rs2):
+        return self.emit(Op.SUB, _r(rd), _r(rs1), _r(rs2))
+
+    def and_(self, rd, rs1, rs2):
+        return self.emit(Op.AND, _r(rd), _r(rs1), _r(rs2))
+
+    def or_(self, rd, rs1, rs2):
+        return self.emit(Op.OR, _r(rd), _r(rs1), _r(rs2))
+
+    def xor(self, rd, rs1, rs2):
+        return self.emit(Op.XOR, _r(rd), _r(rs1), _r(rs2))
+
+    def sll(self, rd, rs1, rs2):
+        return self.emit(Op.SLL, _r(rd), _r(rs1), _r(rs2))
+
+    def srl(self, rd, rs1, rs2):
+        return self.emit(Op.SRL, _r(rd), _r(rs1), _r(rs2))
+
+    def sra(self, rd, rs1, rs2):
+        return self.emit(Op.SRA, _r(rd), _r(rs1), _r(rs2))
+
+    def slt(self, rd, rs1, rs2):
+        return self.emit(Op.SLT, _r(rd), _r(rs1), _r(rs2))
+
+    def sltu(self, rd, rs1, rs2):
+        return self.emit(Op.SLTU, _r(rd), _r(rs1), _r(rs2))
+
+    def addi(self, rd, rs1, imm):
+        return self.emit(Op.ADDI, _r(rd), _r(rs1), imm=imm)
+
+    def andi(self, rd, rs1, imm):
+        return self.emit(Op.ANDI, _r(rd), _r(rs1), imm=imm)
+
+    def ori(self, rd, rs1, imm):
+        return self.emit(Op.ORI, _r(rd), _r(rs1), imm=imm)
+
+    def xori(self, rd, rs1, imm):
+        return self.emit(Op.XORI, _r(rd), _r(rs1), imm=imm)
+
+    def slli(self, rd, rs1, imm):
+        return self.emit(Op.SLLI, _r(rd), _r(rs1), imm=imm)
+
+    def srli(self, rd, rs1, imm):
+        return self.emit(Op.SRLI, _r(rd), _r(rs1), imm=imm)
+
+    def srai(self, rd, rs1, imm):
+        return self.emit(Op.SRAI, _r(rd), _r(rs1), imm=imm)
+
+    def slti(self, rd, rs1, imm):
+        return self.emit(Op.SLTI, _r(rd), _r(rs1), imm=imm)
+
+    def li(self, rd, imm):
+        return self.emit(Op.LI, _r(rd), imm=imm)
+
+    def mov(self, rd, rs1):
+        return self.emit(Op.MOV, _r(rd), _r(rs1))
+
+    def mul(self, rd, rs1, rs2):
+        return self.emit(Op.MUL, _r(rd), _r(rs1), _r(rs2))
+
+    def div(self, rd, rs1, rs2):
+        return self.emit(Op.DIV, _r(rd), _r(rs1), _r(rs2))
+
+    def rem(self, rd, rs1, rs2):
+        return self.emit(Op.REM, _r(rd), _r(rs1), _r(rs2))
+
+    # -- memory ----------------------------------------------------------------
+
+    def lw(self, rd, rs1, offset=0):
+        return self.emit(Op.LW, _r(rd), _r(rs1), imm=offset)
+
+    def sw(self, rsrc, rs1, offset=0):
+        return self.emit(Op.SW, _r(rsrc), _r(rs1), imm=offset)
+
+    def lb(self, rd, rs1, offset=0):
+        return self.emit(Op.LB, _r(rd), _r(rs1), imm=offset)
+
+    def sb(self, rsrc, rs1, offset=0):
+        return self.emit(Op.SB, _r(rsrc), _r(rs1), imm=offset)
+
+    def flw(self, fd, rs1, offset=0):
+        return self.emit(Op.FLW, _r(fd), _r(rs1), imm=offset)
+
+    def fsw(self, fsrc, rs1, offset=0):
+        return self.emit(Op.FSW, _r(fsrc), _r(rs1), imm=offset)
+
+    # -- floating point ----------------------------------------------------------
+
+    def fadd(self, fd, fs1, fs2):
+        return self.emit(Op.FADD, _r(fd), _r(fs1), _r(fs2))
+
+    def fsub(self, fd, fs1, fs2):
+        return self.emit(Op.FSUB, _r(fd), _r(fs1), _r(fs2))
+
+    def fmul(self, fd, fs1, fs2):
+        return self.emit(Op.FMUL, _r(fd), _r(fs1), _r(fs2))
+
+    def fdiv(self, fd, fs1, fs2):
+        return self.emit(Op.FDIV, _r(fd), _r(fs1), _r(fs2))
+
+    def fsqrt(self, fd, fs1):
+        return self.emit(Op.FSQRT, _r(fd), _r(fs1))
+
+    def fneg(self, fd, fs1):
+        return self.emit(Op.FNEG, _r(fd), _r(fs1))
+
+    def fabs(self, fd, fs1):
+        return self.emit(Op.FABS, _r(fd), _r(fs1))
+
+    def fmin(self, fd, fs1, fs2):
+        return self.emit(Op.FMIN, _r(fd), _r(fs1), _r(fs2))
+
+    def fmax(self, fd, fs1, fs2):
+        return self.emit(Op.FMAX, _r(fd), _r(fs1), _r(fs2))
+
+    def flt(self, rd, fs1, fs2):
+        return self.emit(Op.FLT, _r(rd), _r(fs1), _r(fs2))
+
+    def fle(self, rd, fs1, fs2):
+        return self.emit(Op.FLE, _r(rd), _r(fs1), _r(fs2))
+
+    def feq(self, rd, fs1, fs2):
+        return self.emit(Op.FEQ, _r(rd), _r(fs1), _r(fs2))
+
+    def cvtif(self, fd, rs1):
+        return self.emit(Op.CVTIF, _r(fd), _r(rs1))
+
+    def cvtfi(self, rd, fs1):
+        return self.emit(Op.CVTFI, _r(rd), _r(fs1))
+
+    def fmov(self, fd, fs1):
+        return self.emit(Op.FMOV, _r(fd), _r(fs1))
+
+    # -- control -----------------------------------------------------------------
+
+    def beq(self, rs1, rs2, target: Label):
+        return self.emit(Op.BEQ, rs1=_r(rs1), rs2=_r(rs2), target=target)
+
+    def bne(self, rs1, rs2, target: Label):
+        return self.emit(Op.BNE, rs1=_r(rs1), rs2=_r(rs2), target=target)
+
+    def blt(self, rs1, rs2, target: Label):
+        return self.emit(Op.BLT, rs1=_r(rs1), rs2=_r(rs2), target=target)
+
+    def bge(self, rs1, rs2, target: Label):
+        return self.emit(Op.BGE, rs1=_r(rs1), rs2=_r(rs2), target=target)
+
+    def bltz(self, rs1, target: Label):
+        return self.emit(Op.BLTZ, rs1=_r(rs1), target=target)
+
+    def bgez(self, rs1, target: Label):
+        return self.emit(Op.BGEZ, rs1=_r(rs1), target=target)
+
+    def bgtz(self, rs1, target: Label):
+        return self.emit(Op.BGTZ, rs1=_r(rs1), target=target)
+
+    def blez(self, rs1, target: Label):
+        return self.emit(Op.BLEZ, rs1=_r(rs1), target=target)
+
+    def j(self, target: Label):
+        return self.emit(Op.J, target=target)
+
+    def jal(self, target: Label):
+        return self.emit(Op.JAL, rd=LINK_REG, target=target)
+
+    def jr(self, rs1):
+        return self.emit(Op.JR, rs1=_r(rs1))
+
+    def jalr(self, rs1):
+        return self.emit(Op.JALR, rd=LINK_REG, rs1=_r(rs1))
+
+    def nop(self):
+        return self.emit(Op.NOP)
+
+    def halt(self):
+        return self.emit(Op.HALT)
+
+    # -- structured helpers --------------------------------------------------------
+
+    @contextmanager
+    def loop_counted(self, idx: RegLike, count_reg: RegLike):
+        """Counted loop: ``for idx in range(count)``.
+
+        ``idx`` is initialized to 0; ``count_reg`` must already hold the
+        trip count.  The loop body is the ``with`` block; the increment and
+        backward branch are emitted on exit.
+        """
+        idx = _r(idx)
+        count_reg = _r(count_reg)
+        self.li(idx, 0)
+        top = self.here()
+        yield top
+        self.addi(idx, idx, 1)
+        self.blt(idx, count_reg, top)
+
+    @contextmanager
+    def loop_down(self, counter: RegLike):
+        """Count-down loop: iterate while ``counter > 0``.
+
+        ``counter`` must be preloaded with the trip count; it is
+        decremented at the bottom of the body.
+        """
+        counter = _r(counter)
+        top = self.here()
+        yield top
+        self.addi(counter, counter, -1)
+        self.bgtz(counter, top)
+
+    # -- finish --------------------------------------------------------------------
+
+    def build(self, *, validate: bool = True) -> Program:
+        """Resolve all labels and produce the final :class:`Program`."""
+        for pc, label in self._fixups:
+            if label.addr is None:
+                raise ValueError(f"label {label.name!r} never placed")
+            old = self._instrs[pc]
+            self._instrs[pc] = Instruction(old.op, rd=old.rd, rs1=old.rs1,
+                                           rs2=old.rs2, imm=label.addr,
+                                           label=label.name)
+        labels = {lab.name: lab.addr for lab in self._labels.values()
+                  if lab.addr is not None}
+        prog = Program(list(self._instrs), labels=labels,
+                       segments=list(self._segments),
+                       mem_bytes=self.mem_bytes, name=self.name)
+        if validate:
+            prog.validate()
+        return prog

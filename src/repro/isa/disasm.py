@@ -1,0 +1,29 @@
+"""Disassembler: render programs or encoded words back to readable text."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import encoding
+from .program import Program
+
+
+def disassemble(program: Program, *, addresses: bool = True) -> str:
+    """Render a program's text segment as annotated assembly."""
+    labels = program.address_to_label
+    lines: list[str] = []
+    for pc, ins in enumerate(program.instructions):
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        text = ins.render(labels)
+        if addresses:
+            lines.append(f"  {pc:6d}: {text}")
+        else:
+            lines.append(f"  {text}")
+    return "\n".join(lines)
+
+
+def disassemble_words(words: np.ndarray) -> str:
+    """Disassemble raw encoded instruction words."""
+    instrs = encoding.decode_program(words)
+    return "\n".join(f"  {pc:6d}: {ins.render()}" for pc, ins in enumerate(instrs))

@@ -1,0 +1,65 @@
+"""Binary encoding of SPISA instructions.
+
+Each instruction encodes to a single 64-bit word:
+
+=============  ======  =====================================
+field          bits    contents
+=============  ======  =====================================
+opcode         8       :class:`~repro.isa.opcodes.Op` value
+rd             7       destination register id + 1 (0 = none)
+rs1            7       source register id + 1 (0 = none)
+rs2            7       source register id + 1 (0 = none)
+imm            35      signed immediate / resolved target
+=============  ======  =====================================
+
+The encoding exists so that programs round-trip through a genuine binary
+representation (the SPEAR compiler operates on *binaries*, and tests assert
+encode/decode round trips), not for compactness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instruction import Instruction
+from .opcodes import Op
+
+_IMM_BITS = 35
+_IMM_MIN = -(1 << (_IMM_BITS - 1))
+_IMM_MAX = (1 << (_IMM_BITS - 1)) - 1
+_IMM_MASK = (1 << _IMM_BITS) - 1
+
+
+def encode(instr: Instruction) -> int:
+    """Encode one instruction to its 64-bit word."""
+    imm = instr.imm
+    if not _IMM_MIN <= imm <= _IMM_MAX:
+        raise ValueError(f"immediate out of encodable range: {imm}")
+    word = int(instr.op) & 0xFF
+    word |= ((instr.rd + 1) & 0x7F) << 8
+    word |= ((instr.rs1 + 1) & 0x7F) << 15
+    word |= ((instr.rs2 + 1) & 0x7F) << 22
+    word |= (imm & _IMM_MASK) << 29
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 64-bit word back to an :class:`Instruction`."""
+    op = Op(word & 0xFF)
+    rd = ((word >> 8) & 0x7F) - 1
+    rs1 = ((word >> 15) & 0x7F) - 1
+    rs2 = ((word >> 22) & 0x7F) - 1
+    imm = (word >> 29) & _IMM_MASK
+    if imm & (1 << (_IMM_BITS - 1)):  # sign extend
+        imm -= 1 << _IMM_BITS
+    return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def encode_program(instructions: list[Instruction]) -> np.ndarray:
+    """Encode a full instruction list to a ``uint64`` array."""
+    return np.array([encode(i) for i in instructions], dtype=np.uint64)
+
+
+def decode_program(words: np.ndarray) -> list[Instruction]:
+    """Decode a ``uint64`` word array back to instructions."""
+    return [decode(int(w)) for w in words]

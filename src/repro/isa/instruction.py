@@ -1,0 +1,130 @@
+"""The :class:`Instruction` object — one decoded SPISA instruction.
+
+Instructions are immutable once constructed.  Source and destination
+registers are precomputed at construction time so that the functional
+simulator, the profiler and the timing model never need per-step decode
+logic in their hot loops.
+"""
+
+from __future__ import annotations
+
+from .opcodes import OP_INFO, Fmt, Op, OpClass, ZERO_REG, reg_name
+
+
+class Instruction:
+    """A single decoded instruction.
+
+    Attributes
+    ----------
+    op:
+        The :class:`~repro.isa.opcodes.Op` opcode.
+    rd, rs1, rs2:
+        Unified register ids (or ``-1`` when the slot is unused).
+    imm:
+        Immediate operand (also the branch/jump target, in instruction
+        addresses, once labels have been resolved).
+    srcs:
+        Tuple of unified source register ids actually read.
+    dst:
+        Unified destination register id or ``-1``.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "info", "srcs", "dst",
+                 "op_class", "is_load", "is_store", "is_branch",
+                 "is_conditional", "is_call", "is_return", "label")
+
+    def __init__(self, op: Op, rd: int = -1, rs1: int = -1, rs2: int = -1,
+                 imm: int = 0, label: str | None = None):
+        info = OP_INFO[op]
+        self.op = op
+        self.info = info
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        #: Unresolved symbolic target, if the instruction was built from a
+        #: label; ``imm`` holds the resolved address after linking.
+        self.label = label
+
+        self.op_class = info.op_class
+        self.is_load = info.is_load
+        self.is_store = info.is_store
+        self.is_branch = info.is_branch
+        self.is_conditional = info.is_conditional
+        self.is_call = info.is_call
+        self.is_return = info.is_return
+
+        srcs = []
+        if rs1 >= 0:
+            srcs.append(rs1)
+        if rs2 >= 0:
+            srcs.append(rs2)
+        # Stores read the value register (held in rd slot for Fmt.M stores).
+        if info.is_store and rd >= 0:
+            srcs.append(rd)
+        # Reads of the hardwired zero register are not real dependencies.
+        self.srcs = tuple(s for s in srcs if s != ZERO_REG)
+
+        if info.is_store or (info.is_branch and not info.is_call):
+            self.dst = -1
+        else:
+            self.dst = rd if rd != ZERO_REG else -1
+
+    # -- niceties ----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instruction({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (self.op, self.rd, self.rs1, self.rs2, self.imm) == (
+            other.op, other.rd, other.rs1, other.rs2, other.imm)
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.rd, self.rs1, self.rs2, self.imm))
+
+    def render(self, labels: dict[int, str] | None = None) -> str:
+        """Render back to assembly text.
+
+        Parameters
+        ----------
+        labels:
+            Optional map from instruction address to label name, used to
+            render branch targets symbolically.
+        """
+        info = self.info
+        mn = info.mnemonic
+
+        def target() -> str:
+            if labels and self.imm in labels:
+                return labels[self.imm]
+            if self.label is not None:
+                return self.label
+            return str(self.imm)
+
+        fmt = info.fmt
+        if fmt == Fmt.R:
+            return f"{mn} {reg_name(self.rd)}, {reg_name(self.rs1)}, {reg_name(self.rs2)}"
+        if fmt == Fmt.I:
+            return f"{mn} {reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        if fmt == Fmt.LI:
+            return f"{mn} {reg_name(self.rd)}, {self.imm}"
+        if fmt == Fmt.M:
+            return f"{mn} {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+        if fmt == Fmt.B:
+            return f"{mn} {reg_name(self.rs1)}, {reg_name(self.rs2)}, {target()}"
+        if fmt == Fmt.BZ:
+            return f"{mn} {reg_name(self.rs1)}, {target()}"
+        if fmt == Fmt.J:
+            return f"{mn} {target()}"
+        if fmt == Fmt.JR:
+            if self.rd >= 0:
+                return f"{mn} {reg_name(self.rd)}, {reg_name(self.rs1)}"
+            return f"{mn} {reg_name(self.rs1)}"
+        return mn
+
+    @property
+    def is_direct_branch(self) -> bool:
+        """True when the (taken) target is encoded in the instruction."""
+        return self.is_branch and self.op not in (Op.JR, Op.JALR)

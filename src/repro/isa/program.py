@@ -1,0 +1,138 @@
+"""Program images: instructions + labels + data-segment initialization.
+
+A :class:`Program` is the unit every tool in the repository consumes: the
+functional simulator executes it, the SPEAR compiler analyses it, and the
+timing model replays traces generated from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import encoding
+from .instruction import Instruction
+
+#: Size of one data word in bytes.  All word accesses must be 8-aligned.
+WORD_SIZE = 8
+#: Default data memory size (bytes).
+DEFAULT_MEM_BYTES = 8 << 20
+
+
+@dataclass
+class DataSegment:
+    """One initialized region of data memory.
+
+    ``values`` may be an ``int64`` or ``float64`` numpy array; it is copied
+    into memory word-by-word starting at ``addr`` (which must be 8-aligned).
+    """
+
+    addr: int
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.addr % WORD_SIZE != 0:
+            raise ValueError(f"data segment at unaligned address {self.addr:#x}")
+        if self.values.dtype not in (np.int64, np.float64):
+            raise ValueError(f"unsupported segment dtype {self.values.dtype}")
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.size) * WORD_SIZE
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.nbytes
+
+
+@dataclass
+class Program:
+    """A complete SPISA program image.
+
+    Attributes
+    ----------
+    instructions:
+        The text segment; instruction addresses are list indices.
+    labels:
+        Symbol table: label name → instruction address.
+    segments:
+        Initial contents of data memory.
+    mem_bytes:
+        Total data memory to allocate when running.
+    name:
+        Human-readable identifier (used in reports).
+    """
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    segments: list[DataSegment] = field(default_factory=list)
+    mem_bytes: int = DEFAULT_MEM_BYTES
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        for seg in self.segments:
+            if seg.end > self.mem_bytes:
+                raise ValueError(
+                    f"segment [{seg.addr:#x}, {seg.end:#x}) exceeds memory "
+                    f"size {self.mem_bytes:#x}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def address_to_label(self) -> dict[int, str]:
+        """Inverse symbol table (first label wins per address)."""
+        out: dict[int, str] = {}
+        for name, addr in self.labels.items():
+            out.setdefault(addr, name)
+        return out
+
+    def build_memory(self) -> np.ndarray:
+        """Allocate and initialize the data memory byte buffer."""
+        buf = np.zeros(self.mem_bytes, dtype=np.uint8)
+        words = buf.view(np.int64)
+        fwords = buf.view(np.float64)
+        for seg in self.segments:
+            w0 = seg.addr // WORD_SIZE
+            if seg.values.dtype == np.int64:
+                words[w0:w0 + seg.values.size] = seg.values
+            else:
+                fwords[w0:w0 + seg.values.size] = seg.values
+        return buf
+
+    def encode(self) -> np.ndarray:
+        """Encode the text segment to binary words."""
+        return encoding.encode_program(self.instructions)
+
+    @classmethod
+    def from_words(cls, words: np.ndarray, *, name: str = "program",
+                   labels: dict[str, int] | None = None,
+                   segments: list[DataSegment] | None = None,
+                   mem_bytes: int = DEFAULT_MEM_BYTES) -> "Program":
+        """Rebuild a program from encoded binary words."""
+        return cls(encoding.decode_program(words), labels=labels or {},
+                   segments=segments or [], mem_bytes=mem_bytes, name=name)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on problems.
+
+        * every direct branch target is a valid instruction address
+        * labels point into the text segment
+        * the program terminates in a ``halt`` on at least one path
+          (approximated as: at least one halt instruction exists)
+        """
+        n = len(self.instructions)
+        if n == 0:
+            raise ValueError("empty program")
+        for pc, ins in enumerate(self.instructions):
+            if ins.is_direct_branch and ins.is_branch:
+                tgt = ins.imm
+                if not 0 <= tgt < n:
+                    raise ValueError(
+                        f"pc {pc}: branch target {tgt} outside text segment")
+        for name, addr in self.labels.items():
+            if not 0 <= addr <= n:
+                raise ValueError(f"label {name!r} -> {addr} outside text segment")
+        if not any(i.op.name == "HALT" for i in self.instructions):
+            raise ValueError("program has no halt instruction")

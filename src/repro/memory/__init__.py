@@ -1,0 +1,13 @@
+"""Data-memory hierarchy: caches, L1/L2/DRAM timing, hardware prefetchers."""
+
+from .cache import Cache, CacheConfig, CacheStats
+from .hierarchy import (FIG9_LATENCIES, L1D_CONFIG, L2_CONFIG, LatencyConfig,
+                        MemoryHierarchy, ThreadMemStats)
+from .prefetcher import (NextLinePrefetcher, NoPrefetcher, Prefetcher,
+                         PrefetcherStats, StridePrefetcher, make_prefetcher)
+
+__all__ = ["Cache", "CacheConfig", "CacheStats", "FIG9_LATENCIES",
+           "L1D_CONFIG", "L2_CONFIG", "LatencyConfig", "MemoryHierarchy",
+           "ThreadMemStats", "NextLinePrefetcher", "NoPrefetcher",
+           "Prefetcher", "PrefetcherStats", "StridePrefetcher",
+           "make_prefetcher"]

@@ -1,0 +1,173 @@
+"""Set-associative cache with true-LRU replacement.
+
+Models one level of the paper's hierarchy (Table 2: L1D = 256 sets x 32 B
+blocks x 4-way; unified L2 = 1024 sets x 64 B x 4-way; both LRU).
+
+The cache stores only tags — this repository's timing model never needs
+cached *data* (values come from the oracle trace), so a tag store is exact
+for hit/miss behaviour while staying fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _is_pow2(v: int) -> bool:
+    return v > 0 and (v & (v - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    sets: int
+    ways: int
+    block_bytes: int
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.sets):
+            raise ValueError(f"{self.name}: sets must be a power of two")
+        if not _is_pow2(self.block_bytes):
+            raise ValueError(f"{self.name}: block size must be a power of two")
+        if self.ways < 1:
+            raise ValueError(f"{self.name}: ways must be >= 1")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.sets * self.ways * self.block_bytes
+
+    @property
+    def block_bits(self) -> int:
+        return self.block_bytes.bit_length() - 1
+
+    @property
+    def set_mask(self) -> int:
+        return self.sets - 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> dict:
+        return {"accesses": self.accesses, "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "writebacks": self.writebacks, "miss_rate": self.miss_rate}
+
+
+class Cache:
+    """One cache level.
+
+    ``probe``/``install`` are split so the hierarchy can model non-inclusive
+    fills; ``access`` is the common probe-then-fill path.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._block_bits = config.block_bits
+        self._set_mask = config.set_mask
+        # Per-set way arrays.  Plain Python lists beat numpy for 4-way
+        # scans (no per-access array overhead).
+        self._tags: list[list[int]] = [[-1] * config.ways for _ in range(config.sets)]
+        self._stamp: list[list[int]] = [[0] * config.ways for _ in range(config.sets)]
+        self._dirty: list[list[bool]] = [[False] * config.ways for _ in range(config.sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    def block_of(self, addr: int) -> int:
+        """Global block id for an address."""
+        return addr >> self._block_bits
+
+    def reset(self) -> None:
+        cfg = self.config
+        self._tags = [[-1] * cfg.ways for _ in range(cfg.sets)]
+        self._stamp = [[0] * cfg.ways for _ in range(cfg.sets)]
+        self._dirty = [[False] * cfg.ways for _ in range(cfg.sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # -- core operations -----------------------------------------------------
+
+    def probe(self, addr: int, *, is_write: bool = False,
+              update_lru: bool = True, count: bool = True) -> bool:
+        """Check for presence; touches LRU on hit.  Returns hit/miss."""
+        block = addr >> self._block_bits
+        set_idx = block & self._set_mask
+        tags = self._tags[set_idx]
+        if count:
+            self.stats.accesses += 1
+        for way, tag in enumerate(tags):
+            if tag == block:
+                if count:
+                    self.stats.hits += 1
+                if update_lru:
+                    self._clock += 1
+                    self._stamp[set_idx][way] = self._clock
+                if is_write:
+                    self._dirty[set_idx][way] = True
+                return True
+        if count:
+            self.stats.misses += 1
+        return False
+
+    def install(self, addr: int, *, is_write: bool = False) -> int:
+        """Fill the block, evicting LRU if needed.
+
+        Returns the evicted block id, or -1 when an invalid way was used.
+        """
+        block = addr >> self._block_bits
+        set_idx = block & self._set_mask
+        tags = self._tags[set_idx]
+        stamps = self._stamp[set_idx]
+        dirty = self._dirty[set_idx]
+        self._clock += 1
+
+        victim = -1
+        for way, tag in enumerate(tags):
+            if tag == block:  # already present (racing install)
+                stamps[way] = self._clock
+                if is_write:
+                    dirty[way] = True
+                return -1
+            if tag == -1 and victim == -1:
+                victim = way
+        if victim == -1:
+            victim = min(range(len(stamps)), key=stamps.__getitem__)
+
+        evicted = tags[victim]
+        if evicted != -1:
+            self.stats.evictions += 1
+            if dirty[victim]:
+                self.stats.writebacks += 1
+        tags[victim] = block
+        stamps[victim] = self._clock
+        dirty[victim] = is_write
+        return evicted
+
+    def access(self, addr: int, *, is_write: bool = False) -> bool:
+        """Probe and fill on miss.  Returns True on hit."""
+        if self.probe(addr, is_write=is_write):
+            return True
+        self.install(addr, is_write=is_write)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-destructive presence check (no LRU update, no stats)."""
+        return self.probe(addr, update_lru=False, count=False)
+
+    def utilization(self) -> float:
+        """Fraction of ways currently holding a valid block."""
+        valid = sum(1 for s in self._tags for t in s if t != -1)
+        return valid / (self.config.sets * self.config.ways)

@@ -1,0 +1,11 @@
+"""Cycle-level SMT timing model with SPEAR pre-execution hardware."""
+
+from .dyninst import DynInstr, MAIN_THREAD, P_THREAD
+from .funits import FU_OF_CLASS, FUKind, FUPool
+from .ifq import IFQSlot, InstructionFetchQueue
+from .smt import TimingSimulator, simulate
+from .stats import PipelineResult, PipelineStats, SpearStats
+
+__all__ = ["DynInstr", "MAIN_THREAD", "P_THREAD", "FU_OF_CLASS", "FUKind",
+           "FUPool", "IFQSlot", "InstructionFetchQueue", "TimingSimulator",
+           "simulate", "PipelineResult", "PipelineStats", "SpearStats"]

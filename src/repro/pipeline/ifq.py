@@ -1,0 +1,146 @@
+"""The Instruction Fetch Queue with p-thread indicator bits.
+
+The paper's IFQ is a circular FIFO whose entries carry a one-bit *p-thread
+indicator* set during pre-decode.  The main thread's decoder consumes
+entries from the head; the P-thread Extractor (PE) *copies* marked entries
+out (leaving them in place for the main thread) and clears their indicator
+to prevent double pre-execution.
+
+``IFQSlot.seq`` is a monotonically increasing sequence number standing in
+for the circular-buffer position; the PE's "p-thread head" pointer is a
+sequence number too, so the circularity never needs to be modeled
+explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class IFQSlot:
+    """One IFQ entry."""
+
+    __slots__ = ("trace_idx", "seq", "marked", "is_dload")
+
+    def __init__(self, trace_idx: int, seq: int, marked: bool, is_dload: bool):
+        self.trace_idx = trace_idx
+        self.seq = seq
+        #: P-thread indicator bit (set at pre-decode, cleared by the PE).
+        self.marked = marked
+        self.is_dload = is_dload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = ("M" if self.marked else "") + ("D" if self.is_dload else "")
+        return f"<IFQ #{self.seq} t{self.trace_idx} {flags}>"
+
+
+class InstructionFetchQueue:
+    """FIFO of fetched instructions plus the marked-entry index.
+
+    ``marked_queue`` holds references to slots whose indicator is on, in
+    program order — exactly what the PE scans.  Slots already consumed by
+    the main decoder are recognized by ``slot.seq < head_seq`` and skipped
+    lazily.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("IFQ size must be positive")
+        self.size = size
+        self._slots: deque[IFQSlot] = deque()
+        self.marked_queue: deque[IFQSlot] = deque()
+        self._next_seq = 0
+
+    # -- occupancy ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._slots) >= self.size
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._slots
+
+    @property
+    def head_seq(self) -> int:
+        """Sequence number of the oldest un-decoded entry."""
+        return self._slots[0].seq if self._slots else self._next_seq
+
+    # -- operations -----------------------------------------------------------
+
+    def push(self, trace_idx: int, *, marked: bool = False,
+             is_dload: bool = False) -> IFQSlot:
+        """Insert a pre-decoded instruction at the tail."""
+        if self.is_full:
+            raise OverflowError("IFQ overflow — caller must check is_full")
+        slot = IFQSlot(trace_idx, self._next_seq, marked, is_dload)
+        self._next_seq += 1
+        self._slots.append(slot)
+        if marked:
+            self.marked_queue.append(slot)
+        return slot
+
+    def push_bubble(self) -> IFQSlot:
+        """Insert a wrong-path placeholder (``trace_idx = -1``).
+
+        Bubbles occupy IFQ capacity (and therefore count toward the
+        trigger-occupancy check, as wrong-path instructions do in real
+        hardware) but are never marked and never reach the RUU.
+        """
+        return self.push(-1)
+
+    def flush_after(self, seq: int) -> int:
+        """Squash every entry younger than ``seq`` (mispredict recovery in
+        the reconvergent wrong-path model).  Returns the number squashed."""
+        n = 0
+        while self._slots and self._slots[-1].seq > seq:
+            slot = self._slots.pop()
+            slot.marked = False   # make next_marked() skip any stale ref
+            n += 1
+        return n
+
+    def flush_bubbles(self) -> int:
+        """Squash wrong-path entries at mispredict resolution.
+
+        Bubbles are always a contiguous tail suffix: real fetch stops at
+        the mispredicted branch, so everything younger is wrong-path.
+        Returns the number of squashed entries.
+        """
+        n = 0
+        while self._slots and self._slots[-1].trace_idx < 0:
+            self._slots.pop()
+            n += 1
+        return n
+
+    def pop_head(self) -> IFQSlot:
+        """Main-thread decode consumes the head entry."""
+        return self._slots.popleft()
+
+    def peek_head(self) -> IFQSlot | None:
+        return self._slots[0] if self._slots else None
+
+    def prune_marked(self) -> None:
+        """Drop marked-queue entries already consumed or already extracted."""
+        head = self.head_seq
+        mq = self.marked_queue
+        while mq and (mq[0].seq < head or not mq[0].marked):
+            mq.popleft()
+
+    def next_marked(self, from_seq: int) -> IFQSlot | None:
+        """First still-marked slot at or after ``from_seq`` (PE scan)."""
+        self.prune_marked()
+        for slot in self.marked_queue:
+            if slot.seq >= from_seq and slot.marked:
+                return slot
+        return None
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self.marked_queue.clear()

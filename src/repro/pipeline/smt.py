@@ -1,0 +1,636 @@
+"""Cycle-level SMT timing model with SPEAR pre-execution hardware.
+
+This is the repository's analog of the paper's modified ``sim-outorder``:
+an 8-wide out-of-order pipeline with an IFQ front end, pre-decode (PD
+d-load detection + PT indicator marking), the P-thread Extractor, per-
+thread RUUs, shared or dedicated functional units, two memory ports and a
+bimodal branch predictor.
+
+It is *trace driven*: instruction values come from the committed-path
+trace produced by the functional simulator, and the pipeline models timing
+only.  DESIGN.md §2 documents why this substitution preserves the paper's
+phenomena; §6 lists the modeling decisions (perfect BTB, fetch-stall
+mispredict recovery, MSHR-merged fills).
+
+Pre-execution sequencing (paper §3.2):
+
+1. pre-decode sees a d-load enter the IFQ while occupancy ≥ half → trigger;
+2. wait until every instruction decoded at trigger time has committed;
+3. copy live-in registers, one cycle each;
+4. PE extracts marked IFQ entries (≤ issue_width/2 per cycle) from the
+   p-thread head pointer, clearing indicators, until the triggering d-load
+   has been extracted;
+5. extracted instances execute as thread 1 with issue priority, touching
+   only the data cache;
+6. when the triggering d-load instance completes, the mode ends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..branch.predictors import make_predictor
+from ..core.configs import MachineConfig, OP_LATENCY
+from ..core.pthread import PThreadTable
+from ..functional.trace import Trace
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.prefetcher import make_prefetcher
+from .dyninst import DynInstr, MAIN_THREAD, P_THREAD
+from .funits import FUPool
+from .ifq import InstructionFetchQueue
+from .stats import PipelineResult, PipelineStats
+
+# Pre-execution mode states.
+_IDLE, _DRAIN, _COPY, _ACTIVE = range(4)
+
+
+class TimingSimulator:
+    """One run of one trace through one machine configuration."""
+
+    def __init__(self, trace: Trace, config: MachineConfig,
+                 table: PThreadTable | None = None,
+                 memory: MemoryHierarchy | None = None,
+                 warmup: Trace | list | None = None):
+        self.trace = trace
+        self.config = config
+        self.table = table if (table is not None and config.spear_enabled) \
+            else PThreadTable.empty()
+        self.mem = memory or MemoryHierarchy(latencies=config.latencies)
+        branch_targets = {}
+        self.predictor = make_predictor(config.predictor,
+                                        table_size=config.predictor_table_size,
+                                        targets=branch_targets)
+        self.prefetcher = make_prefetcher(
+            config.prefetcher, block_bytes=self.mem.l1.config.block_bytes,
+            degree=config.prefetch_degree)
+        self._prefetch_active = config.prefetcher != "none"
+        if warmup is not None:
+            # The paper's "skipped instructions" (Table 1): replay the
+            # warmup prefix through caches and predictor functionally so
+            # measurement starts from steady state.
+            mem = self.mem
+            predictor = self.predictor
+            for e in warmup:
+                if e.addr >= 0:
+                    mem.warm(e.addr, is_write=e.is_store)
+                elif e.is_cond:
+                    predictor.predict_and_update(e.pc, e.taken)
+            mem.finish_warmup()
+            predictor.stats = type(predictor.stats)()
+        self.stats = PipelineStats()
+
+        # Front end state.
+        self.ifq = InstructionFetchQueue(config.ifq_size)
+        self._fetch_idx = 0
+        self._await_branch_idx = -1   # trace idx of unresolved mispredict
+        self._fetch_resume_cycle = 0
+        #: reconverge mode: IFQ seq of the unresolved mispredicted branch;
+        #: decode may not pass it, and resolution flushes everything younger.
+        self._barrier_seq = -1
+        #: highest trace index ever extracted (suppresses duplicate
+        #: p-thread instances after a wrong-path flush re-fetch).
+        self._max_extracted_idx = -1
+        #: real entries fetched past the current barrier (reconverge mode).
+        self._wrong_path_real = 0
+
+        # Back end state.
+        self._main_rob: deque[DynInstr] = deque()
+        self._main_ready: list[DynInstr] = []
+        self._pt_ready: list[DynInstr] = []
+        self._pt_inflight = 0
+        self._events: dict[int, list[DynInstr]] = {}
+        self._last_writer: dict[int, DynInstr] = {}
+        self._store_map: dict[int, DynInstr] = {}
+        self._next_seq = 0
+
+        self._fu_main = FUPool(config.fu)
+        self._fu_pt = FUPool(config.fu) if config.separate_fu else self._fu_main
+
+        # SPEAR mode state.
+        self._mode = _IDLE
+        self._trigger_trace_idx = -1
+        self._trigger_extracted = False
+        self._drain_seq = -1
+        self._drain_producers: list[DynInstr] = []
+        self._copy_remaining = 0
+        self._pe_seq = 0
+        self._pt_last_writer: dict[int, DynInstr] = {}
+
+        self._cycle = 0
+        self._committed = 0
+
+    # ------------------------------------------------------------------
+    # Top-level loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        n = len(self.trace)
+        cfg = self.config
+        stats = self.stats
+        while self._committed < n:
+            if self._cycle >= cfg.max_cycles:
+                raise RuntimeError(
+                    f"{cfg.name}: exceeded max_cycles={cfg.max_cycles} "
+                    f"({self._committed}/{n} committed) — likely a deadlock")
+            self._complete()
+            self._commit()
+            self._spear_mode_tick()
+            self._issue()
+            extracted = self._extract() if self._mode == _ACTIVE else 0
+            self._decode(extracted)
+            self._fetch()
+            stats.ifq_occupancy_sum += self.ifq.occupancy
+            stats.ruu_occupancy_sum += len(self._main_rob)
+            if self._mode != _IDLE:
+                stats.spear.cycles_in_mode += 1
+            self._cycle += 1
+        stats.cycles = self._cycle
+        stats.committed = self._committed
+        return PipelineResult(
+            config_name=cfg.name,
+            stats=stats,
+            memory=self.mem.snapshot(),
+            predictor={"hit_ratio": self.predictor.stats.hit_ratio,
+                       "lookups": self.predictor.stats.lookups},
+            prefetcher=self.prefetcher.stats.snapshot(),
+            workload=self.trace.program_name)
+
+    # ------------------------------------------------------------------
+    # Completion / wakeup
+    # ------------------------------------------------------------------
+
+    def _complete(self) -> None:
+        finished = self._events.pop(self._cycle, None)
+        if not finished:
+            return
+        main_ready = self._main_ready
+        pt_ready = self._pt_ready
+        for instr in finished:
+            instr.done = True
+            for cons in instr.consumers:
+                cons.deps -= 1
+                if cons.deps == 0 and not cons.issued:
+                    (pt_ready if cons.thread else main_ready).append(cons)
+            if instr.thread == P_THREAD:
+                self._pt_inflight -= 1
+                if instr.is_trigger_dload and self._mode == _ACTIVE:
+                    self.stats.spear.modes_completed += 1
+                    self._end_mode()
+            elif instr.trace_idx == self._await_branch_idx:
+                self._await_branch_idx = -1
+                self._fetch_resume_cycle = (
+                    self._cycle + self.config.mispredict_redirect_penalty)
+                if self._barrier_seq >= 0:
+                    # Reconverge recovery: squash the wrong-path span and
+                    # re-fetch it from just past the branch.  The cache
+                    # state left by any p-thread extraction survives.
+                    flushed = self.ifq.flush_after(self._barrier_seq)
+                    self.stats.wrong_path_flushed += flushed
+                    self._fetch_idx = instr.trace_idx + 1
+                    self._barrier_seq = -1
+                else:
+                    self.stats.wrong_path_flushed += self.ifq.flush_bubbles()
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        rob = self._main_rob
+        budget = self.config.commit_width
+        last_writer = self._last_writer
+        store_map = self._store_map
+        while budget and rob and rob[0].done:
+            instr = rob.popleft()
+            e = instr.entry
+            if e.dst >= 0 and last_writer.get(e.dst) is instr:
+                del last_writer[e.dst]
+            if e.is_store:
+                w = e.addr >> 3
+                if store_map.get(w) is instr:
+                    del store_map[w]
+            self._committed += 1
+            budget -= 1
+
+    # ------------------------------------------------------------------
+    # SPEAR mode state machine
+    # ------------------------------------------------------------------
+
+    def _spear_mode_tick(self) -> None:
+        if self._mode == _IDLE:
+            # Dormant d-loads (suppressed at pre-decode because the IFQ was
+            # shallow) wake up once occupancy reaches the threshold — the
+            # PD keeps seeing their indicator bits in the IFQ.
+            if (self.config.spear_enabled and self.ifq.marked_queue
+                    and self.ifq.occupancy >= self.config.trigger_occupancy):
+                self._try_retrigger()
+        elif self._mode == _DRAIN:
+            if self._drain_satisfied():
+                self._mode = _COPY
+                if self._copy_remaining == 0:
+                    self._begin_active()
+            else:
+                self.stats.spear.drain_wait_cycles += 1
+        elif self._mode == _COPY:
+            self.stats.spear.livein_copy_cycles += 1
+            self._copy_remaining -= 1
+            if self._copy_remaining <= 0:
+                self._begin_active()
+
+    def _begin_active(self) -> None:
+        self._mode = _ACTIVE
+        # Live-in semantics: the p-thread starts from the main thread's
+        # architectural register state.  Any register whose main-thread
+        # producer is still in flight is not copyable yet, so chain-starting
+        # p-thread instances must wait for it.  Without this seeding, a
+        # loop-carried slice (pointer chase, fft index mixing) would
+        # "teleport" to oracle future values at every trigger and overstate
+        # pre-execution by the whole IFQ depth.
+        self._pt_last_writer = {
+            r: prod for r, prod in self._last_writer.items()
+            if not prod.done}
+        self._trigger_extracted = False
+
+    def _drain_satisfied(self) -> bool:
+        """Has the configured 'deterministic state' been reached?"""
+        policy = self.config.drain_policy
+        if policy == "livein":
+            producers = self._drain_producers
+            while producers and producers[-1].done:
+                producers.pop()
+            return not producers
+        if policy == "full":
+            rob = self._main_rob
+            return not rob or rob[0].seq > self._drain_seq
+        return True  # "none"
+
+    def _begin_trigger(self, trace_idx: int, slot_seq: int) -> None:
+        """Enter pre-execution mode for the d-load at ``trace_idx``."""
+        pc = self.trace[trace_idx].pc
+        pthread = self.table[pc]
+        self._mode = _DRAIN
+        self._trigger_trace_idx = trace_idx
+        self._trigger_extracted = False
+        self._drain_seq = self._main_rob[-1].seq if self._main_rob else -1
+        if self.config.drain_policy == "livein":
+            lw = self._last_writer
+            self._drain_producers = [
+                p for p in (lw.get(r) for r in pthread.live_ins)
+                if p is not None and not p.done]
+        self._copy_remaining = (len(pthread.live_ins)
+                                * self.config.livein_copy_cycles)
+        self._pe_seq = max(self._pe_seq, self.ifq.head_seq)
+        self.stats.spear.triggers += 1
+
+    def _end_mode(self) -> None:
+        self._mode = _IDLE
+        self._trigger_trace_idx = -1
+        self._try_retrigger()
+
+    def _try_retrigger(self) -> None:
+        """A d-load that entered the IFQ while a mode was running is dormant
+        but still marked; give it a chance to trigger now (DESIGN.md §6.3).
+
+        With chaining triggers enabled the occupancy requirement is waived:
+        a completed p-thread hands off to the next dormant d-load directly,
+        the Collins-style chaining the paper's related work describes."""
+        if (not self.config.chaining
+                and self.ifq.occupancy < self.config.trigger_occupancy):
+            return
+        self.ifq.prune_marked()
+        # Scan from the tail: the *newest* dormant d-load plays the role of
+        # a freshly pre-decoded one, so the PE sweeps every marked entry
+        # between its head pointer and the IFQ tail in this mode.
+        for slot in reversed(self.ifq.marked_queue):
+            if slot.seq >= self._pe_seq and slot.marked and slot.is_dload:
+                self._begin_trigger(slot.trace_idx, slot.seq)
+                return
+
+    # ------------------------------------------------------------------
+    # P-thread extraction
+    # ------------------------------------------------------------------
+
+    def _extract(self) -> int:
+        if self._trigger_extracted:
+            return 0
+        cfg = self.config
+        sstats = self.stats.spear
+        budget = cfg.extract_width
+        extracted = 0
+        ifq = self.ifq
+        while budget > 0:
+            slot = ifq.next_marked(self._pe_seq)
+            if slot is None:
+                break
+            if self._pt_inflight >= cfg.pthread_ruu_size:
+                sstats.extraction_stall_ruu_full += 1
+                break
+            slot.marked = False
+            self._pe_seq = slot.seq + 1
+            if slot.trace_idx <= self._max_extracted_idx:
+                # Duplicate from a wrong-path flush re-fetch: this dynamic
+                # instance was already pre-executed; skip it.
+                if slot.trace_idx == self._trigger_trace_idx:
+                    sstats.modes_completed += 1
+                    self._end_mode()
+                    break
+                continue
+            self._max_extracted_idx = slot.trace_idx
+            self._spawn_pthread_instr(slot.trace_idx)
+            extracted += 1
+            budget -= 1
+            if slot.trace_idx == self._trigger_trace_idx:
+                self._trigger_extracted = True
+                break
+        return extracted
+
+    def _spawn_pthread_instr(self, trace_idx: int) -> None:
+        entry = self.trace[trace_idx]
+        instr = DynInstr(self._next_seq, P_THREAD, trace_idx, entry,
+                         self._cycle)
+        self._next_seq += 1
+        ptlw = self._pt_last_writer
+        for r in entry.srcs:
+            prod = ptlw.get(r)
+            if prod is not None and not prod.done:
+                instr.deps += 1
+                prod.consumers.append(instr)
+        if entry.dst >= 0:
+            ptlw[entry.dst] = instr
+        if trace_idx == self._trigger_trace_idx:
+            instr.is_trigger_dload = True
+        self._pt_inflight += 1
+        sstats = self.stats.spear
+        sstats.pthread_instrs += 1
+        sstats.extracted += 1
+        if entry.is_load:
+            sstats.pthread_loads += 1
+        if instr.deps == 0:
+            self._pt_ready.append(instr)
+
+    # ------------------------------------------------------------------
+    # Decode / rename
+    # ------------------------------------------------------------------
+
+    def _decode(self, extracted: int) -> None:
+        cfg = self.config
+        stats = self.stats
+        budget = cfg.decode_width - extracted
+        ifq = self.ifq
+        rob = self._main_rob
+        last_writer = self._last_writer
+        store_map = self._store_map
+        trace = self.trace
+        while budget > 0:
+            if ifq.is_empty:
+                stats.decode_stall_empty_ifq += 1
+                break
+            if len(rob) >= cfg.ruu_size:
+                stats.decode_stall_ruu_full += 1
+                break
+            head = ifq.peek_head()
+            if (head is not None and self._barrier_seq >= 0
+                    and head.seq > self._barrier_seq):
+                # Entries past an unresolved mispredicted branch are
+                # speculative wrong-path content: not decodable.
+                break
+            if head is not None and head.trace_idx < 0:
+                # Wrong-path region: nothing younger than the mispredicted
+                # branch is real work.  Bubbles sit in the IFQ (keeping the
+                # occupancy the trigger logic sees realistic) until the
+                # branch resolves and flushes them.
+                break
+            slot = ifq.pop_head()
+            # Main thread caught up with an untriggered or still-pending
+            # pre-execution target: pre-executing it would be pointless.
+            if (self._mode != _IDLE and not self._trigger_extracted
+                    and slot.trace_idx == self._trigger_trace_idx):
+                stats.spear.modes_aborted += 1
+                self._end_mode()
+            entry = trace[slot.trace_idx]
+            instr = DynInstr(self._next_seq, MAIN_THREAD, slot.trace_idx,
+                             entry, self._cycle)
+            self._next_seq += 1
+            for r in entry.srcs:
+                prod = last_writer.get(r)
+                if prod is not None and not prod.done:
+                    instr.deps += 1
+                    prod.consumers.append(instr)
+            if entry.is_load:
+                st = store_map.get(entry.addr >> 3)
+                if st is not None and not st.done:
+                    instr.deps += 1
+                    st.consumers.append(instr)
+            if entry.dst >= 0:
+                last_writer[entry.dst] = instr
+            if entry.is_store:
+                store_map[entry.addr >> 3] = instr
+            rob.append(instr)
+            stats.decoded += 1
+            if instr.deps == 0:
+                self._main_ready.append(instr)
+            budget -= 1
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+
+    def _issue(self) -> None:
+        cfg = self.config
+        fu_main = self._fu_main
+        fu_pt = self._fu_pt
+        fu_main.begin_cycle()
+        if fu_pt is not fu_main:
+            fu_pt.begin_cycle()
+
+        budget = cfg.issue_width
+        # Dedicated-FU models give the p-thread its own issue path (the
+        # paper likens them to a CMP); shared models share the budget.
+        pt_budget = cfg.issue_width if cfg.separate_fu else budget
+
+        if self._pt_ready and cfg.pthread_priority:
+            used = self._issue_from(self._pt_ready, fu_pt, pt_budget,
+                                    decode_before=self._cycle)
+            if not cfg.separate_fu:
+                budget -= used
+        if budget > 0 and self._main_ready:
+            self._issue_from(self._main_ready, fu_main, budget,
+                             decode_before=self._cycle)
+        if self._pt_ready and not cfg.pthread_priority and budget > 0:
+            # Ablation path: p-thread competes after the main thread.
+            self._issue_from(self._pt_ready, fu_pt, pt_budget,
+                             decode_before=self._cycle)
+
+    def _issue_from(self, ready: list[DynInstr], pool: FUPool, budget: int,
+                    decode_before: int) -> int:
+        """Issue up to ``budget`` ready instructions; returns count issued."""
+        if budget <= 0 or not ready:
+            return 0
+        issued = 0
+        leftovers: list[DynInstr] = []
+        events = self._events
+        cycle = self._cycle
+        mem = self.mem
+        for idx, instr in enumerate(ready):
+            if issued >= budget:
+                leftovers.extend(ready[idx:])
+                break
+            # Instructions decoded this very cycle issue next cycle.
+            if instr.decode_cycle >= decode_before:
+                leftovers.append(instr)
+                continue
+            e = instr.entry
+            if not pool.take(e.op_class):
+                self.stats.issue_fu_conflicts += 1
+                leftovers.append(instr)
+                continue
+            if e.is_load:
+                lat = mem.access(e.addr, thread=instr.thread, now=cycle)
+                comp = cycle + max(1, lat)
+                if self._prefetch_active and instr.thread == MAIN_THREAD:
+                    for target in self.prefetcher.observe(
+                            e.pc, e.addr, lat > self.mem.latencies.l1):
+                        mem.prefetch(target, now=cycle)
+            elif e.is_store:
+                mem.access(e.addr, is_write=True, thread=instr.thread,
+                           now=cycle)
+                comp = cycle + 1
+            else:
+                comp = cycle + OP_LATENCY[e.op_class]
+            instr.issued = True
+            instr.completion_cycle = comp
+            events.setdefault(comp, []).append(instr)
+            issued += 1
+            self.stats.issued += 1
+        ready[:] = leftovers
+        return issued
+
+    # ------------------------------------------------------------------
+    # Fetch / pre-decode
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        stats = self.stats
+        if self._await_branch_idx >= 0:
+            stats.fetch_stall_mispredict += 1
+            mode = self.config.wrong_path
+            if mode == "bubbles":
+                ifq = self.ifq
+                for _ in range(self.config.fetch_width):
+                    if ifq.is_full:
+                        break
+                    ifq.push_bubble()
+                    stats.wrong_path_fetched += 1
+            elif mode == "reconverge":
+                self._fetch_wrong_path_reconvergent()
+            return
+        if self._cycle < self._fetch_resume_cycle:
+            stats.fetch_stall_mispredict += 1
+            return
+        cfg = self.config
+        ifq = self.ifq
+        trace = self.trace
+        n = len(trace)
+        spear = cfg.spear_enabled
+        marked_pcs = self.table.marked_pcs
+        dload_pcs = self.table.dload_pcs
+        predictor = self.predictor
+        fetched = 0
+        while fetched < cfg.fetch_width and self._fetch_idx < n:
+            if ifq.is_full:
+                stats.fetch_stall_ifq_full += 1
+                break
+            idx = self._fetch_idx
+            entry = trace[idx]
+            pc = entry.pc
+            marked = spear and pc in marked_pcs
+            is_dload = spear and pc in dload_pcs
+            slot = ifq.push(idx, marked=marked, is_dload=is_dload)
+            self._fetch_idx += 1
+            fetched += 1
+            stats.fetched += 1
+
+            if spear and is_dload:
+                sstats = stats.spear
+                if self._mode != _IDLE:
+                    sstats.triggers_blocked += 1
+                elif ifq.occupancy >= cfg.trigger_occupancy:
+                    self._begin_trigger(idx, slot.seq)
+                else:
+                    sstats.triggers_suppressed += 1
+
+            if entry.is_cond:
+                stats.cond_branches += 1
+                correct = predictor.predict_and_update(pc, entry.taken)
+                if not correct:
+                    stats.mispredicts += 1
+                    self._await_branch_idx = idx
+                    if cfg.wrong_path == "reconverge":
+                        self._barrier_seq = slot.seq
+                        self._wrong_path_real = 0
+                    break
+                if entry.taken:
+                    break  # redirect: taken branches end the fetch group
+            elif entry.is_branch:
+                break  # unconditional control flow ends the fetch group
+
+    def _fetch_wrong_path_reconvergent(self) -> None:
+        """Wrong-path fetch in the reconvergent model.
+
+        The kernels' conditional branches are short forward hammocks whose
+        wrong path reconverges within a few instructions, so the machine's
+        wrong-path fetch stream is nearly identical to the future committed
+        path.  We therefore keep fetching real trace entries — pre-decode
+        marking and trigger checks included, so the PE can pre-execute
+        across the mispredict exactly as the paper's hardware does — but
+        the entries stay un-decodable (behind the barrier) and are
+        squashed and re-fetched at resolution.  Further branches inside the
+        wrong-path span are not predicted: the machine is already off the
+        architectural path.
+        """
+        cfg = self.config
+        ifq = self.ifq
+        stats = self.stats
+        trace = self.trace
+        n = len(trace)
+        spear = cfg.spear_enabled
+        marked_pcs = self.table.marked_pcs
+        dload_pcs = self.table.dload_pcs
+        fetched = 0
+        while fetched < cfg.fetch_width and self._fetch_idx < n:
+            if ifq.is_full:
+                break
+            if self._wrong_path_real >= cfg.reconverge_window:
+                # Past plausible reconvergence: the stream is genuinely
+                # wrong-path from here on — opaque bubbles only.
+                ifq.push_bubble()
+                fetched += 1
+                stats.wrong_path_fetched += 1
+                continue
+            idx = self._fetch_idx
+            entry = trace[idx]
+            pc = entry.pc
+            marked = spear and pc in marked_pcs
+            is_dload = spear and pc in dload_pcs
+            slot = ifq.push(idx, marked=marked, is_dload=is_dload)
+            self._fetch_idx += 1
+            fetched += 1
+            stats.wrong_path_fetched += 1
+            self._wrong_path_real += 1
+            if spear and is_dload:
+                sstats = stats.spear
+                if self._mode != _IDLE:
+                    sstats.triggers_blocked += 1
+                elif ifq.occupancy >= cfg.trigger_occupancy:
+                    self._begin_trigger(idx, slot.seq)
+                else:
+                    sstats.triggers_suppressed += 1
+            if entry.is_branch and entry.taken:
+                break
+
+
+def simulate(trace: Trace, config: MachineConfig,
+             table: PThreadTable | None = None,
+             memory: MemoryHierarchy | None = None) -> PipelineResult:
+    """Run ``trace`` through ``config`` and return the result."""
+    return TimingSimulator(trace, config, table, memory).run()

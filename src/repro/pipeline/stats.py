@@ -1,0 +1,112 @@
+"""Counters and results for the timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpearStats:
+    """Pre-execution machinery accounting."""
+
+    triggers: int = 0              # pre-execution modes entered
+    triggers_suppressed: int = 0   # d-load seen but occupancy below threshold
+    triggers_blocked: int = 0      # d-load seen while already in a mode
+    modes_completed: int = 0       # trigger d-load instance retired
+    modes_aborted: int = 0         # main thread reached the d-load first
+    pthread_instrs: int = 0        # p-thread instructions executed
+    pthread_loads: int = 0
+    extracted: int = 0             # = pthread_instrs (kept for clarity)
+    livein_copy_cycles: int = 0
+    drain_wait_cycles: int = 0
+    extraction_stall_ruu_full: int = 0
+    cycles_in_mode: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class PipelineStats:
+    """Whole-run counters."""
+
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0
+    decoded: int = 0
+    issued: int = 0
+    # Stall diagnostics ------------------------------------------------
+    decode_stall_ruu_full: int = 0
+    decode_stall_empty_ifq: int = 0
+    fetch_stall_mispredict: int = 0
+    fetch_stall_ifq_full: int = 0
+    issue_fu_conflicts: int = 0
+    wrong_path_fetched: int = 0
+    wrong_path_flushed: int = 0
+    # Branching -----------------------------------------------------------
+    cond_branches: int = 0
+    mispredicts: int = 0
+    # Occupancy sampling ----------------------------------------------------
+    ifq_occupancy_sum: int = 0
+    ruu_occupancy_sum: int = 0
+    spear: SpearStats = field(default_factory=SpearStats)
+
+    @property
+    def ipc(self) -> float:
+        """Main-program-thread IPC — the paper's performance metric."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_hit_ratio(self) -> float:
+        if not self.cond_branches:
+            return 1.0
+        return 1.0 - self.mispredicts / self.cond_branches
+
+    @property
+    def avg_ifq_occupancy(self) -> float:
+        return self.ifq_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_ruu_occupancy(self) -> float:
+        return self.ruu_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    def snapshot(self) -> dict:
+        d = {k: v for k, v in self.__dict__.items() if k != "spear"}
+        d.update(ipc=self.ipc, branch_hit_ratio=self.branch_hit_ratio,
+                 avg_ifq_occupancy=self.avg_ifq_occupancy,
+                 avg_ruu_occupancy=self.avg_ruu_occupancy,
+                 spear=self.spear.snapshot())
+        return d
+
+
+@dataclass
+class PipelineResult:
+    """Everything a run produces, as consumed by the harness and tests."""
+
+    config_name: str
+    stats: PipelineStats
+    memory: dict
+    predictor: dict
+    workload: str = ""
+    prefetcher: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def main_l1_misses(self) -> int:
+        return self.memory["threads"][0]["l1_misses"]
+
+    def summary(self) -> dict:
+        return {
+            "config": self.config_name,
+            "workload": self.workload,
+            "cycles": self.stats.cycles,
+            "committed": self.stats.committed,
+            "ipc": self.ipc,
+            "branch_hit_ratio": self.stats.branch_hit_ratio,
+            "main_l1_misses": self.main_l1_misses,
+            "triggers": self.stats.spear.triggers,
+            "pthread_instrs": self.stats.spear.pthread_instrs,
+        }

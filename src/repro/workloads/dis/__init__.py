@@ -1,0 +1,3 @@
+"""Atlantic Aerospace Data-Intensive Systems benchmark analogs."""
+
+from . import datamanagement, fft, raytracing  # noqa: F401

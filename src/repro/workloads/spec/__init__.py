@@ -1,0 +1,3 @@
+"""SPEC2000 benchmark analogs."""
+
+from . import art, bzip2, equake, gzip, mcf, vpr  # noqa: F401

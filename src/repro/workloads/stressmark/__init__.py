@@ -1,0 +1,3 @@
+"""Atlantic Aerospace Stressmark suite analogs."""
+
+from . import field, matrix, neighborhood, pointer, transitive, update  # noqa: F401

@@ -1,0 +1,147 @@
+"""CFG construction, dominators (cross-checked against networkx), loops."""
+
+import networkx as nx
+import pytest
+
+from repro.compiler import CFG
+from repro.isa import ProgramBuilder, assemble
+
+
+def cfg_of(text: str) -> CFG:
+    return CFG(assemble(text + "\nhalt"))
+
+
+def nested_loops_program():
+    b = ProgramBuilder()
+    b.li("r1", 3)
+    outer = b.here("outer")
+    b.li("r2", 4)
+    inner = b.here("inner")
+    b.addi("r2", "r2", -1)
+    b.bgtz("r2", inner)
+    b.addi("r1", "r1", -1)
+    b.bgtz("r1", outer)
+    b.halt()
+    return b.build()
+
+
+class TestBlocks:
+    def test_straightline_is_one_block(self):
+        cfg = cfg_of("li r1, 1\naddi r1, r1, 1")
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].size == 3
+
+    def test_branch_splits_blocks(self):
+        cfg = cfg_of("li r1, 1\nbeq r1, r0, out\nli r2, 2\nout:\nli r3, 3")
+        # blocks: [li,beq] [li r2] [li r3] [halt? same as last]
+        assert len(cfg.blocks) >= 3
+        entry = cfg.blocks[0]
+        assert len(entry.succs) == 2
+
+    def test_block_of_pc_total(self, gather_program):
+        cfg = CFG(gather_program)
+        for pc in range(len(gather_program)):
+            blk = cfg.blocks[cfg.block_of_pc[pc]]
+            assert pc in blk
+
+    def test_edges_symmetric(self, gather_program):
+        cfg = CFG(gather_program)
+        for blk in cfg.blocks:
+            for s in blk.succs:
+                assert blk.index in cfg.blocks[s].preds
+
+    def test_halt_terminates_block(self):
+        cfg = cfg_of("li r1, 1")
+        last = cfg.blocks[-1]
+        assert not last.succs
+
+    def test_call_has_fallthrough_edge(self):
+        cfg = cfg_of("jal f\nli r1, 1\nj end\nf:\njr r31\nend:\nnop")
+        entry = cfg.blocks[0]
+        targets = {cfg.blocks[s].start for s in entry.succs}
+        assert 1 in targets     # fall-through (return point)
+        assert 3 in targets     # callee entry
+
+
+class TestDominators:
+    def _nx_idom(self, cfg: CFG):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(len(cfg.blocks)))
+        for blk in cfg.blocks:
+            for s in blk.succs:
+                g.add_edge(blk.index, s)
+        return nx.immediate_dominators(g, 0)
+
+    @pytest.mark.parametrize("text", [
+        "li r1, 1\nbeq r1, r0, a\nli r2, 2\nj b\na:\nli r3, 3\nb:\nnop",
+        "top:\naddi r1, r1, 1\nblt r1, r2, top\nnop",
+        ("li r1, 2\no:\nli r2, 2\ni:\naddi r2, r2, -1\nbgtz r2, i\n"
+         "addi r1, r1, -1\nbgtz r1, o"),
+    ])
+    def test_matches_networkx(self, text):
+        cfg = cfg_of(text)
+        nx_idom = self._nx_idom(cfg)
+        for node, idom in nx_idom.items():
+            if node == 0:
+                continue
+            assert cfg.idom[node] == idom, f"node {node}"
+
+    def test_matches_networkx_on_workload(self, gather_program):
+        cfg = CFG(gather_program)
+        nx_idom = self._nx_idom(cfg)
+        for node, idom in nx_idom.items():
+            if node != 0:
+                assert cfg.idom[node] == idom
+
+    def test_dominates_reflexive_and_entry(self, gather_program):
+        cfg = CFG(gather_program)
+        for blk in cfg.blocks:
+            if cfg.idom[blk.index] != -1 or blk.index == 0:
+                assert cfg.dominates(blk.index, blk.index)
+                assert cfg.dominates(0, blk.index)
+
+
+class TestLoops:
+    def test_single_loop_found(self):
+        cfg = cfg_of("li r1, 5\ntop:\naddi r1, r1, -1\nbgtz r1, top")
+        assert len(cfg.loops) == 1
+        loop = next(iter(cfg.loops.values()))
+        assert loop.depth == 1
+
+    def test_nested_loops(self):
+        cfg = CFG(nested_loops_program())
+        assert len(cfg.loops) == 2
+        depths = sorted(l.depth for l in cfg.loops.values())
+        assert depths == [1, 2]
+        inner = next(l for l in cfg.loops.values() if l.depth == 2)
+        outer = next(l for l in cfg.loops.values() if l.depth == 1)
+        assert inner.parent == outer.header
+        assert inner.body < outer.body
+
+    def test_innermost_of_pc(self):
+        prog = nested_loops_program()
+        cfg = CFG(prog)
+        inner_pc = prog.labels["inner"]
+        loop = cfg.innermost_loop_of_pc(inner_pc)
+        assert loop is not None and loop.depth == 2
+        assert cfg.innermost_loop_of_pc(0) is None
+
+    def test_loop_pcs(self):
+        cfg = cfg_of("li r1, 5\ntop:\naddi r1, r1, -1\nbgtz r1, top")
+        loop = next(iter(cfg.loops.values()))
+        assert cfg.loop_pcs(loop) == {1, 2}
+
+    def test_loop_contains_call(self):
+        cfg = cfg_of("top:\njal f\naddi r1, r1, -1\nbgtz r1, top\nj e\n"
+                     "f:\njr r31\ne:\nnop")
+        loop = next(iter(cfg.loops.values()))
+        assert cfg.loop_contains_call(loop)
+
+    def test_no_loops_in_straightline(self):
+        cfg = cfg_of("li r1, 1\nli r2, 2")
+        assert not cfg.loops
+
+    def test_summary(self, gather_program):
+        s = CFG(gather_program).summary()
+        assert s["loops"] == 1
+        assert s["blocks"] >= 2

@@ -1,0 +1,86 @@
+"""Attacher validation and the end-to-end compile driver."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import attach, compile_spear
+from repro.core import PThread, PThreadTable
+from repro.isa import ProgramBuilder
+
+from ..conftest import build_gather_program, gather_load_pcs
+
+
+class TestAttacher:
+    def test_valid_attach(self, gather_program, gather_table):
+        binary = attach(gather_program, gather_table)
+        assert binary.table is gather_table
+
+    def test_rejects_out_of_range_dload(self, gather_program):
+        table = PThreadTable()
+        table.add(PThread(dload_pc=9999, slice_pcs=frozenset([9999]),
+                          live_ins=()))
+        with pytest.raises(ValueError, match="out of range"):
+            attach(gather_program, table)
+
+    def test_rejects_non_load_dload(self, gather_program):
+        table = PThreadTable()
+        table.add(PThread(dload_pc=0, slice_pcs=frozenset([0]), live_ins=()))
+        with pytest.raises(ValueError, match="not a load"):
+            attach(gather_program, table)
+
+    def test_empty_table_ok(self, gather_program):
+        binary = attach(gather_program, PThreadTable.empty())
+        assert len(binary.table) == 0
+
+
+class TestCompileDriver:
+    def test_end_to_end(self):
+        train = build_gather_program(seed=7, iters=500)
+        evalp = build_gather_program(seed=1, iters=500)
+        binary, report, result = compile_spear(train, evalp)
+        _, gather_pc = gather_load_pcs(evalp)
+        assert gather_pc in binary.table
+        assert report.dloads == len(binary.table)
+        assert report.profile_instructions > 0
+        assert report.mean_slice_size > 0
+        assert "SPEAR compile report" in report.render()
+
+    def test_annotations_apply_to_eval_binary(self):
+        train = build_gather_program(seed=7, iters=500)
+        evalp = build_gather_program(seed=1, iters=500)
+        binary, _, _ = compile_spear(train, evalp)
+        assert binary.program is evalp
+
+    def test_defaults_to_train_program(self):
+        train = build_gather_program(seed=7, iters=400)
+        binary, _, _ = compile_spear(train)
+        assert binary.program is train
+
+    def test_text_mismatch_rejected(self):
+        train = build_gather_program(seed=7, iters=500)
+        b = ProgramBuilder()
+        b.li("r1", 0)
+        b.halt()
+        with pytest.raises(ValueError, match="differ in length"):
+            compile_spear(train, b.build())
+
+    def test_structural_divergence_rejected(self):
+        train = build_gather_program(seed=7, iters=500)
+        evalp = build_gather_program(seed=1, iters=500)
+        # mutate one instruction's registers
+        from repro.isa import Instruction, Op
+        evalp.instructions[4] = Instruction(Op.ADD, rd=9, rs1=9, rs2=9)
+        with pytest.raises(ValueError, match="diverge"):
+            compile_spear(train, evalp)
+
+    def test_immediate_differences_allowed(self):
+        # different trip counts / data addresses are fine (same structure)
+        train = build_gather_program(seed=7, iters=300)
+        evalp = build_gather_program(seed=1, iters=700)
+        binary, _, _ = compile_spear(train, evalp)
+        assert len(binary.table) >= 1
+
+    def test_profile_budget_respected(self):
+        train = build_gather_program(seed=7, iters=5000)
+        _, report, _ = compile_spear(train, max_profile_instructions=2000)
+        assert report.profile_instructions <= 2000

@@ -1,0 +1,87 @@
+"""Region-policy alternatives in the slicer."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CFG, SlicerConfig, profile_trace, select_region
+from repro.functional import run_program
+from repro.isa import ProgramBuilder
+
+
+@pytest.fixture(scope="module")
+def triple_nest():
+    """Three nested loops with a delinquent gather in the innermost."""
+    rng = np.random.default_rng(4)
+    n = 1 << 12
+    b = ProgramBuilder(mem_bytes=4 << 20)
+    base = b.alloc(n, init=rng.integers(0, n, size=n).astype(np.int64))
+    b.li("r1", 8)
+    outer = b.here("outer")
+    b.li("r2", 6)
+    mid = b.here("mid")
+    b.li("r3", 20)
+    b.li("r4", base)
+    inner = b.here("inner")
+    b.lw("r5", "r4", 0)
+    b.slli("r6", "r5", 3)
+    b.andi("r6", "r6", (n - 1) * 8)
+    b.add("r7", "r6", "r4")
+    b.lw("r8", "r7", 0)            # delinquent gather
+    b.addi("r4", "r4", 8)
+    b.addi("r3", "r3", -1)
+    b.bgtz("r3", inner)
+    b.addi("r2", "r2", -1)
+    b.bgtz("r2", mid)
+    b.addi("r1", "r1", -1)
+    b.bgtz("r1", outer)
+    b.halt()
+    prog = b.build()
+    cfg = CFG(prog)
+    profile = profile_trace(run_program(prog, max_instructions=50_000), cfg)
+    dload = max(pc for pc, i in enumerate(prog.instructions) if i.is_load)
+    return cfg, profile, dload
+
+
+class TestRegionPolicies:
+    def test_innermost_stays_put(self, triple_nest):
+        cfg, profile, dload = triple_nest
+        region, _ = select_region(cfg, profile, dload,
+                                  SlicerConfig(region_policy="innermost"))
+        assert region.depth == 3
+
+    def test_outermost_ignores_budget(self, triple_nest):
+        cfg, profile, dload = triple_nest
+        region, _ = select_region(
+            cfg, profile, dload,
+            SlicerConfig(region_policy="outermost", dcycle_budget=0.001))
+        assert region.depth == 1
+
+    def test_budget_is_between(self, triple_nest):
+        cfg, profile, dload = triple_nest
+        inner, _ = select_region(cfg, profile, dload,
+                                 SlicerConfig(region_policy="innermost"))
+        outer, _ = select_region(cfg, profile, dload,
+                                 SlicerConfig(region_policy="outermost"))
+        budget, _ = select_region(cfg, profile, dload,
+                                  SlicerConfig(region_policy="budget"))
+        assert outer.depth <= budget.depth <= inner.depth
+
+    def test_nesting_is_monotone(self, triple_nest):
+        cfg, profile, dload = triple_nest
+        inner, _ = select_region(cfg, profile, dload,
+                                 SlicerConfig(region_policy="innermost"))
+        outer, _ = select_region(cfg, profile, dload,
+                                 SlicerConfig(region_policy="outermost"))
+        assert inner.body <= outer.body
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SlicerConfig(region_policy="everything")
+
+    def test_accumulated_dcycle_grows_with_region(self, triple_nest):
+        cfg, profile, dload = triple_nest
+        _, d_inner = select_region(cfg, profile, dload,
+                                   SlicerConfig(region_policy="innermost"))
+        _, d_outer = select_region(cfg, profile, dload,
+                                   SlicerConfig(region_policy="outermost"))
+        assert d_outer > d_inner > 0

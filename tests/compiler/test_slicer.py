@@ -1,0 +1,210 @@
+"""Hybrid slicer: d-load selection, dynamic backward slicing, regions."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (CFG, SlicerConfig, backward_slice, build_pthreads,
+                            compute_live_ins, find_delinquent_loads,
+                            profile_trace, select_region)
+from repro.functional import run_program
+from repro.isa import ProgramBuilder
+
+from ..conftest import build_gather_program, gather_load_pcs
+
+
+@pytest.fixture(scope="module")
+def gather_parts():
+    prog = build_gather_program(seed=5, iters=600)
+    cfg = CFG(prog)
+    profile = profile_trace(run_program(prog, max_instructions=30_000), cfg)
+    return prog, cfg, profile
+
+
+def cold_path_program():
+    """A d-load whose address comes from the hot path B3 almost always;
+    the cold path B2 writes the same register rarely (paper Figure 5)."""
+    rng = np.random.default_rng(11)
+    n = 1 << 13
+    b = ProgramBuilder(mem_bytes=4 << 20)
+    sel_base = b.alloc(n, init=(rng.random(n) < 0.03).astype(np.int64))
+    data_base = b.alloc(n, init=rng.integers(0, n, size=n).astype(np.int64))
+    tgt_base = b.alloc(n, init=np.arange(n, dtype=np.int64))
+    b.li("r1", sel_base)
+    b.li("r2", data_base)
+    b.li("r3", tgt_base)
+    b.li("r4", 600)
+    b.li("r14", 8 * (n - 1))
+    with b.loop_down("r4"):
+        b.lw("r5", "r1", 0)               # selector
+        cold = b.label()
+        join = b.label()
+        b.bne("r5", "r0", cold)
+        # hot path (B3): address from the data stream
+        b.lw("r6", "r2", 0)               # hot producer
+        b.slli("r7", "r6", 3)
+        b.j(join)
+        b.place(cold)
+        # cold path (B2): rare different producer
+        b.li("r7", 0)
+        b.place(join)
+        b.and_("r7", "r7", "r14")
+        b.add("r8", "r7", "r3")
+        b.lw("r9", "r8", 0)               # the delinquent load
+        b.addi("r1", "r1", 8)
+        b.addi("r2", "r2", 8)
+    b.halt()
+    return b.build()
+
+
+class TestDelinquentLoadSelection:
+    def test_gather_selected(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        _, gather_pc = gather_load_pcs(prog)
+        dloads = find_delinquent_loads(profile, SlicerConfig())
+        assert gather_pc in dloads
+
+    def test_worst_first(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        dloads = find_delinquent_loads(profile, SlicerConfig())
+        misses = [profile.miss_counts[pc] for pc in dloads]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_threshold_filters(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        strict = SlicerConfig(dload_miss_threshold=10 ** 9,
+                              dload_miss_fraction=1.1)
+        assert find_delinquent_loads(profile, strict) == []
+
+    def test_max_dloads_cap(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        capped = SlicerConfig(dload_miss_threshold=1, max_dloads=1)
+        assert len(find_delinquent_loads(profile, capped)) == 1
+
+
+class TestBackwardSlice:
+    def test_gather_slice_contains_address_chain(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        idx_pc, gather_pc = gather_load_pcs(prog)
+        loop = cfg.innermost_loop_of_pc(gather_pc)
+        region = cfg.loop_pcs(loop)
+        s = backward_slice(cfg, profile, gather_pc, region, SlicerConfig())
+        assert {idx_pc, gather_pc - 1, gather_pc - 2, gather_pc} <= s
+
+    def test_slice_respects_region(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        _, gather_pc = gather_load_pcs(prog)
+        s = backward_slice(cfg, profile, gather_pc, {gather_pc},
+                           SlicerConfig())
+        assert s == {gather_pc}
+
+    def test_cold_path_pruned(self):
+        """Figure 5: the majority-path producer stays, the cold one goes."""
+        prog = cold_path_program()
+        cfg = CFG(prog)
+        profile = profile_trace(run_program(prog, max_instructions=40_000), cfg)
+        dload_pc = max(pc for pc, i in enumerate(prog.instructions) if i.is_load)
+        hot_producer = next(
+            pc for pc, i in enumerate(prog.instructions)
+            if i.is_load and pc != dload_pc and pc > 6)
+        cold_producer = next(
+            pc for pc, i in enumerate(prog.instructions)
+            if i.op.name == "LI" and 6 < pc < dload_pc)
+        loop = cfg.innermost_loop_of_pc(dload_pc)
+        region = cfg.loop_pcs(loop)
+        s = backward_slice(cfg, profile, dload_pc, region,
+                           SlicerConfig(dominant_edge_fraction=0.10))
+        assert hot_producer in s
+        assert cold_producer not in s
+
+    def test_max_slice_cap(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        _, gather_pc = gather_load_pcs(prog)
+        loop = cfg.innermost_loop_of_pc(gather_pc)
+        region = cfg.loop_pcs(loop)
+        s = backward_slice(cfg, profile, gather_pc, region,
+                           SlicerConfig(max_slice_size=2))
+        assert len(s) <= 2
+
+
+class TestRegions:
+    def test_innermost_selected(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        _, gather_pc = gather_load_pcs(prog)
+        region, dcycle = select_region(cfg, profile, gather_pc, SlicerConfig())
+        assert region is not None
+        assert gather_pc in cfg.loop_pcs(region)
+        assert dcycle > 0
+
+    def test_not_in_loop(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        region, _ = select_region(cfg, profile, 0, SlicerConfig())
+        assert region is None
+
+    def test_budget_limits_growth(self):
+        b = ProgramBuilder(mem_bytes=4 << 20)
+        rng = np.random.default_rng(2)
+        n = 1 << 12
+        base = b.alloc(n, init=rng.integers(0, n, size=n).astype(np.int64))
+        b.li("r1", 40)
+        outer = b.here("outer")
+        b.li("r2", 30)
+        b.li("r3", base)
+        inner = b.here("inner")
+        b.lw("r4", "r3", 0)
+        b.slli("r5", "r4", 3)
+        b.and_("r5", "r5", "r0")
+        b.add("r6", "r5", "r3")
+        b.lw("r7", "r6", 0)
+        b.addi("r3", "r3", 8)
+        b.addi("r2", "r2", -1)
+        b.bgtz("r2", inner)
+        b.addi("r1", "r1", -1)
+        b.bgtz("r1", outer)
+        b.halt()
+        prog = b.build()
+        cfg = CFG(prog)
+        profile = profile_trace(run_program(prog, max_instructions=40_000), cfg)
+        dload = max(pc for pc, i in enumerate(prog.instructions) if i.is_load)
+        tight, _ = select_region(cfg, profile, dload,
+                                 SlicerConfig(dcycle_budget=1.0))
+        loose, _ = select_region(cfg, profile, dload,
+                                 SlicerConfig(dcycle_budget=10 ** 9))
+        assert tight.depth == 2           # stays innermost
+        assert loose.depth == 1           # grows to the outer loop
+        assert tight.body < loose.body
+
+
+class TestLiveIns:
+    def test_gather_live_ins(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        idx_pc, gather_pc = gather_load_pcs(prog)
+        s = set(range(idx_pc, gather_pc + 1))
+        live = compute_live_ins(cfg, s)
+        assert 1 in live     # index base pointer
+        assert 2 in live     # data base pointer
+        assert 4 not in live  # written inside the slice before use
+
+    def test_live_ins_sorted(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        idx_pc, gather_pc = gather_load_pcs(prog)
+        live = compute_live_ins(cfg, set(range(idx_pc, gather_pc + 1)))
+        assert list(live) == sorted(live)
+
+
+class TestBuildPThreads:
+    def test_end_to_end(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        result = build_pthreads(cfg, profile)
+        assert len(result.table) >= 1
+        _, gather_pc = gather_load_pcs(prog)
+        assert gather_pc in result.table
+        pt = result.table[gather_pc]
+        assert pt.size >= 3
+        assert pt.live_ins
+
+    def test_reports_match_table(self, gather_parts):
+        prog, cfg, profile = gather_parts
+        result = build_pthreads(cfg, profile)
+        assert len(result.accepted) == len(result.table)
+        for r in result.accepted:
+            assert result.table[r.dload_pc].size == r.slice_size

@@ -1,0 +1,82 @@
+"""Trigger-point timeliness analysis."""
+
+import pytest
+
+from repro.compiler import (CFG, analyze_triggers, build_pthreads,
+                            profile_trace, render_trigger_analysis,
+                            slice_critical_path)
+from repro.compiler.triggers import expected_lead
+from repro.core import SPEAR_128, SPEAR_256
+from repro.functional import run_program
+from repro.memory import LatencyConfig
+
+from ..conftest import build_gather_program
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    prog = build_gather_program(seed=13, iters=700)
+    cfg = CFG(prog)
+    profile = profile_trace(run_program(prog, max_instructions=35_000), cfg)
+    result = build_pthreads(cfg, profile)
+    return cfg, profile, result.table
+
+
+class TestCriticalPath:
+    def test_chain_longer_than_single_op(self, compiled):
+        cfg, profile, table = compiled
+        pthread = max(table, key=lambda p: p.size)
+        cp = slice_critical_path(cfg, pthread, profile, LatencyConfig())
+        # the gather slice chains two loads (idx stream -> gather): its
+        # critical path must exceed one memory access
+        assert cp > 12
+
+    def test_scales_with_latency(self, compiled):
+        cfg, profile, table = compiled
+        pthread = next(iter(table))
+        short = slice_critical_path(cfg, pthread, profile,
+                                    LatencyConfig(1, 4, 40))
+        long = slice_critical_path(cfg, pthread, profile,
+                                   LatencyConfig(1, 20, 200))
+        assert long > short
+
+    def test_alu_only_slice_is_cheap(self, compiled):
+        cfg, profile, table = compiled
+        from repro.core import PThread
+        # fabricate a one-ALU-op "slice" around an existing load pc for
+        # the math only (slice_critical_path doesn't validate)
+        alu_pc = 0   # li r1, ... at pc 0
+        fake = PThread(dload_pc=alu_pc, slice_pcs=frozenset({alu_pc}),
+                       live_ins=())
+        cp = slice_critical_path(cfg, fake, profile, LatencyConfig())
+        assert cp <= 2
+
+
+class TestLeadAndMargin:
+    def test_lead_scales_with_threshold(self, compiled):
+        cfg, profile, table = compiled
+        pthread = next(iter(table))
+        lead128 = expected_lead(pthread, profile, SPEAR_128)
+        lead256 = expected_lead(pthread, profile, SPEAR_256)
+        assert lead256 == pytest.approx(2 * lead128)
+
+    def test_reports_sorted_by_margin(self, compiled):
+        cfg, profile, table = compiled
+        reports = analyze_triggers(cfg, profile, table)
+        margins = [r.margin for r in reports]
+        assert margins == sorted(margins)
+
+    def test_report_fields(self, compiled):
+        cfg, profile, table = compiled
+        reports = analyze_triggers(cfg, profile, table)
+        assert len(reports) == len(table)
+        for r in reports:
+            assert r.slice_size == table[r.dload_pc].size
+            assert r.livein_copy_cycles == len(table[r.dload_pc].live_ins)
+            assert r.timely == (r.margin > 0)
+
+    def test_render(self, compiled):
+        cfg, profile, table = compiled
+        out = render_trigger_analysis(analyze_triggers(cfg, profile, table))
+        assert "Trigger-point analysis" in out
+        assert "predicted timely" in out

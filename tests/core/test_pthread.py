@@ -1,0 +1,95 @@
+"""P-thread descriptors and tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PThread, PThreadTable
+
+
+def pt(dload=5, extra=(), live=(1,)):
+    return PThread(dload_pc=dload,
+                   slice_pcs=frozenset({dload, *extra}),
+                   live_ins=tuple(sorted(set(live))))
+
+
+class TestPThread:
+    def test_dload_must_be_in_slice(self):
+        with pytest.raises(ValueError, match="slice"):
+            PThread(dload_pc=5, slice_pcs=frozenset({1, 2}), live_ins=())
+
+    def test_live_ins_must_be_sorted_unique(self):
+        with pytest.raises(ValueError):
+            PThread(dload_pc=1, slice_pcs=frozenset({1}), live_ins=(3, 2))
+        with pytest.raises(ValueError):
+            PThread(dload_pc=1, slice_pcs=frozenset({1}), live_ins=(2, 2))
+
+    def test_size(self):
+        assert pt(extra=(1, 2)).size == 3
+
+    def test_dict_roundtrip(self):
+        p = PThread(dload_pc=7, slice_pcs=frozenset({4, 5, 7}),
+                    live_ins=(1, 2), region_head=3, d_cycle=25.5,
+                    miss_count=900)
+        assert PThread.from_dict(p.to_dict()) == p
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            pt().dload_pc = 9
+
+
+class TestPThreadTable:
+    def test_add_and_lookup(self):
+        t = PThreadTable()
+        p = pt()
+        t.add(p)
+        assert 5 in t
+        assert t[5] is p
+        assert len(t) == 1
+
+    def test_duplicate_rejected(self):
+        t = PThreadTable()
+        t.add(pt())
+        with pytest.raises(ValueError, match="duplicate"):
+            t.add(pt())
+
+    def test_marked_is_union(self):
+        t = PThreadTable()
+        t.add(pt(dload=5, extra=(3, 4)))
+        t.add(pt(dload=9, extra=(4, 8)))
+        assert t.marked_pcs == frozenset({3, 4, 5, 8, 9})
+        assert t.dload_pcs == frozenset({5, 9})
+
+    def test_slice_stats(self):
+        t = PThreadTable()
+        t.add(pt(dload=5, extra=(3,)))
+        t.add(pt(dload=9, extra=(7, 8, 6)))
+        assert t.total_slice_size == 6
+        assert t.mean_slice_size == 3.0
+
+    def test_empty(self):
+        t = PThreadTable.empty()
+        assert len(t) == 0
+        assert t.mean_slice_size == 0.0
+        assert not t.marked_pcs
+
+    def test_iteration(self):
+        t = PThreadTable()
+        t.add(pt(dload=5))
+        t.add(pt(dload=9))
+        assert {p.dload_pc for p in t} == {5, 9}
+
+    @given(st.lists(st.tuples(st.integers(0, 500),
+                              st.sets(st.integers(0, 500), max_size=6)),
+                    max_size=8, unique_by=lambda kv: kv[0]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, specs):
+        t = PThreadTable()
+        for dload, extra in specs:
+            t.add(PThread(dload_pc=dload,
+                          slice_pcs=frozenset({dload, *extra}),
+                          live_ins=()))
+        back = PThreadTable.from_dict(t.to_dict())
+        assert back.marked_pcs == t.marked_pcs
+        assert back.dload_pcs == t.dload_pcs
+        for p in t:
+            assert back[p.dload_pc] == p

@@ -1,0 +1,64 @@
+"""SPEAR binary serialization and integrity checks."""
+
+import numpy as np
+import pytest
+
+from repro.core import PThread, PThreadTable, SpearBinary
+from repro.functional import FunctionalSimulator
+
+from ..conftest import build_gather_program, gather_load_pcs
+
+
+@pytest.fixture()
+def binary(gather_program, gather_table):
+    return SpearBinary(gather_program, gather_table)
+
+
+class TestIntegrity:
+    def test_slice_outside_text_rejected(self, gather_program):
+        table = PThreadTable()
+        loads = gather_load_pcs(gather_program)
+        table.add(PThread(dload_pc=loads[1],
+                          slice_pcs=frozenset({loads[1], 10_000}),
+                          live_ins=()))
+        with pytest.raises(ValueError, match="outside"):
+            SpearBinary(gather_program, table)
+
+    def test_plain_binary(self, gather_program):
+        b = SpearBinary.plain(gather_program)
+        assert len(b.table) == 0
+        assert b.name == gather_program.name
+
+
+class TestSerialization:
+    def test_dict_roundtrip_preserves_text(self, binary):
+        again = SpearBinary.from_dict(binary.to_dict())
+        assert again.program.instructions == binary.program.instructions
+        assert again.program.labels == binary.program.labels
+        assert again.program.mem_bytes == binary.program.mem_bytes
+
+    def test_dict_roundtrip_preserves_table(self, binary):
+        again = SpearBinary.from_dict(binary.to_dict())
+        assert again.table.marked_pcs == binary.table.marked_pcs
+        assert again.table.dload_pcs == binary.table.dload_pcs
+
+    def test_dict_roundtrip_preserves_segments(self, binary):
+        again = SpearBinary.from_dict(binary.to_dict())
+        mem_a = binary.program.build_memory()
+        mem_b = again.program.build_memory()
+        assert np.array_equal(mem_a, mem_b)
+
+    def test_roundtrip_program_still_runs(self, binary):
+        again = SpearBinary.from_dict(binary.to_dict())
+        sim_a = FunctionalSimulator(binary.program)
+        sim_b = FunctionalSimulator(again.program)
+        sim_a.run(5000)
+        sim_b.run(5000)
+        assert sim_a.iregs == sim_b.iregs
+
+    def test_file_roundtrip(self, binary, tmp_path):
+        path = tmp_path / "gather.spear.json"
+        binary.save(path)
+        again = SpearBinary.load(path)
+        assert again.table.dload_pcs == binary.table.dload_pcs
+        assert again.program.instructions == binary.program.instructions

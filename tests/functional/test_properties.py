@@ -1,0 +1,133 @@
+"""Property-based tests: the functional simulator against Python semantics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.functional import FunctionalSimulator
+from repro.isa import ProgramBuilder
+
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+small_ints = st.integers(-(1 << 30), (1 << 30) - 1)
+
+
+def _wrap(v):
+    v &= (1 << 64) - 1
+    return v - (1 << 64) if v & (1 << 63) else v
+
+
+def run_binop(op_emit, a, b):
+    bld = ProgramBuilder()
+    bld.li("r1", a)
+    bld.li("r2", b)
+    op_emit(bld)
+    bld.halt()
+    sim = FunctionalSimulator(bld.build())
+    sim.run(10)
+    return sim.read_ireg(3)
+
+
+class TestALUMatchesPython:
+    @given(small_ints, small_ints)
+    def test_add(self, a, b):
+        assert run_binop(lambda bl: bl.add("r3", "r1", "r2"), a, b) == _wrap(a + b)
+
+    @given(small_ints, small_ints)
+    def test_sub(self, a, b):
+        assert run_binop(lambda bl: bl.sub("r3", "r1", "r2"), a, b) == _wrap(a - b)
+
+    @given(small_ints, small_ints)
+    def test_mul(self, a, b):
+        assert run_binop(lambda bl: bl.mul("r3", "r1", "r2"), a, b) == _wrap(a * b)
+
+    @given(small_ints, small_ints)
+    def test_xor_and_or(self, a, b):
+        assert run_binop(lambda bl: bl.xor("r3", "r1", "r2"), a, b) == a ^ b
+        assert run_binop(lambda bl: bl.and_("r3", "r1", "r2"), a, b) == a & b
+        assert run_binop(lambda bl: bl.or_("r3", "r1", "r2"), a, b) == a | b
+
+    @given(small_ints, small_ints.filter(lambda v: v != 0))
+    def test_div_rem_invariant(self, a, b):
+        q = run_binop(lambda bl: bl.div("r3", "r1", "r2"), a, b)
+        r = run_binop(lambda bl: bl.rem("r3", "r1", "r2"), a, b)
+        assert q == int(a / b)
+        assert q * b + r == a
+
+    @given(small_ints, st.integers(0, 63))
+    def test_shifts(self, a, sh):
+        assert run_binop(lambda bl: bl.slli("r3", "r1", sh), a, 0) == _wrap(a << sh)
+        assert run_binop(lambda bl: bl.srai("r3", "r1", sh), a, 0) == a >> sh
+
+    @given(small_ints, small_ints)
+    def test_slt(self, a, b):
+        assert run_binop(lambda bl: bl.slt("r3", "r1", "r2"), a, b) == int(a < b)
+
+
+class TestProgramLevelProperties:
+    @given(st.lists(small_ints, min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_array_sum(self, values):
+        bld = ProgramBuilder()
+        base = bld.alloc(0, init=np.array(values, dtype=np.int64))
+        bld.li("r1", base)
+        bld.li("r2", 0)
+        bld.li("r3", len(values))
+        with bld.loop_down("r3"):
+            bld.lw("r4", "r1", 0)
+            bld.add("r2", "r2", "r4")
+            bld.addi("r1", "r1", 8)
+        bld.halt()
+        sim = FunctionalSimulator(bld.build())
+        sim.run(10_000)
+        assert sim.read_ireg(2) == _wrap(sum(values))
+
+    @given(st.lists(small_ints, min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_memory_copy(self, values):
+        bld = ProgramBuilder()
+        src = bld.alloc(0, init=np.array(values, dtype=np.int64))
+        dst = bld.alloc(len(values))
+        bld.li("r1", src)
+        bld.li("r2", dst)
+        bld.li("r3", len(values))
+        with bld.loop_down("r3"):
+            bld.lw("r4", "r1", 0)
+            bld.sw("r4", "r2", 0)
+            bld.addi("r1", "r1", 8)
+            bld.addi("r2", "r2", 8)
+        bld.halt()
+        sim = FunctionalSimulator(bld.build())
+        sim.run(10_000)
+        for i, v in enumerate(values):
+            assert sim.read_word(dst + 8 * i) == v
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_fibonacci(self, n):
+        bld = ProgramBuilder()
+        bld.li("r1", 0)
+        bld.li("r2", 1)
+        bld.li("r3", n)
+        with bld.loop_down("r3"):
+            bld.add("r4", "r1", "r2")
+            bld.mov("r1", "r2")
+            bld.mov("r2", "r4")
+        bld.halt()
+        sim = FunctionalSimulator(bld.build())
+        sim.run(10_000)
+        a, b = 0, 1
+        for _ in range(n):
+            a, b = b, _wrap(a + b)
+        assert sim.read_ireg(1) == a
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_trace_length_equals_executed(self, n):
+        bld = ProgramBuilder()
+        bld.li("r3", n)
+        with bld.loop_down("r3"):
+            bld.nop()
+        bld.halt()
+        sim = FunctionalSimulator(bld.build())
+        trace = sim.run(100_000, trace=True)
+        # li + n * (nop, addi, bgtz) + halt is not traced after halt break
+        assert len(trace) == 1 + 3 * n

@@ -1,0 +1,77 @@
+"""Committed-trace contents and summary statistics."""
+
+from repro.functional import FunctionalSimulator, Trace, TraceEntry, run_program
+from repro.isa import OpClass, assemble
+
+
+def trace_of(text, limit=10_000):
+    return run_program(assemble(text + "\nhalt"), max_instructions=limit)
+
+
+class TestEntries:
+    def test_load_entry(self):
+        tr = trace_of("li r1, 0x100\nlw r2, 8(r1)")
+        e = tr[1]
+        assert e.is_load and not e.is_store
+        assert e.addr == 0x108
+        assert e.dst == 2
+        assert e.srcs == (1,)
+        assert e.op_class == int(OpClass.LOAD)
+
+    def test_store_entry(self):
+        tr = trace_of("li r1, 0x100\nli r2, 9\nsw r2, 0(r1)")
+        e = tr[2]
+        assert e.is_store and e.addr == 0x100
+        assert e.dst == -1
+        assert set(e.srcs) == {1, 2}
+
+    def test_branch_entry_taken(self):
+        tr = trace_of("li r1, 1\nbgtz r1, skip\nnop\nskip:\nnop")
+        e = tr[1]
+        assert e.is_branch and e.is_cond and e.taken
+
+    def test_branch_entry_not_taken(self):
+        tr = trace_of("li r1, 0\nbgtz r1, skip\nnop\nskip:\nnop")
+        assert not tr[1].taken
+
+    def test_uncond_jump_flagged(self):
+        tr = trace_of("j next\nnext:\nnop")
+        assert tr[0].is_branch and not tr[0].is_cond and tr[0].taken
+
+    def test_alu_entry(self):
+        tr = trace_of("li r1, 1\naddi r2, r1, 2")
+        e = tr[1]
+        assert e.addr == -1 and not (e.is_load or e.is_store or e.is_branch)
+
+    def test_trace_is_committed_path_only(self):
+        tr = trace_of("li r1, 0\nbeq r1, r0, skip\nli r2, 1\nskip:\nnop")
+        pcs = [e.pc for e in tr]
+        assert 2 not in pcs  # the skipped instruction never appears
+
+
+class TestStatistics:
+    def test_counts(self, gather_trace):
+        assert gather_trace.count_loads() == 1600
+        assert gather_trace.count_stores() == 0
+        assert gather_trace.count_branches() == 800
+
+    def test_ipb(self, gather_trace):
+        ipb = gather_trace.instructions_per_branch()
+        assert 9 < ipb < 12
+
+    def test_load_fraction(self, gather_trace):
+        assert 0.15 < gather_trace.load_fraction() < 0.25
+
+    def test_empty_trace(self):
+        tr = Trace([])
+        assert tr.load_fraction() == 0.0
+        assert tr.instructions_per_branch() == float("inf")
+
+    def test_len_iter_getitem(self, gather_trace):
+        assert len(gather_trace) == gather_trace.instret
+        assert isinstance(gather_trace[0], TraceEntry)
+        assert sum(1 for _ in gather_trace) == len(gather_trace)
+
+    def test_halted_flag(self, gather_program):
+        full = FunctionalSimulator(gather_program).run(1_000_000, trace=True)
+        assert full.halted

@@ -1,0 +1,140 @@
+"""Text assembler: syntax, labels, directives, errors, disassembler loop."""
+
+import numpy as np
+import pytest
+
+from repro.isa import (AssemblerError, Op, assemble, disassemble,
+                       disassemble_words, encode_program)
+
+
+class TestBasicParsing:
+    def test_r_format(self):
+        prog = assemble("add r1, r2, r3\nhalt")
+        assert prog.instructions[0].op == Op.ADD
+        assert prog.instructions[0].rd == 1
+
+    def test_i_format(self):
+        prog = assemble("addi r1, r2, -7\nhalt")
+        assert prog.instructions[0].imm == -7
+
+    def test_memory_format(self):
+        prog = assemble("lw r4, 16(r2)\nsw r4, -8(r3)\nhalt")
+        lw, sw = prog.instructions[:2]
+        assert lw.imm == 16 and lw.rs1 == 2 and lw.rd == 4
+        assert sw.imm == -8 and sw.rs1 == 3 and sw.rd == 4
+
+    def test_hex_immediates(self):
+        prog = assemble("li r1, 0x1000\nhalt")
+        assert prog.instructions[0].imm == 0x1000
+
+    def test_fp_format(self):
+        prog = assemble("fadd f1, f2, f3\nflw f0, 0(r1)\nhalt")
+        assert prog.instructions[0].rd == 32 + 1
+        assert prog.instructions[1].rd == 32
+
+    def test_unary_jr_format(self):
+        prog = assemble("mov r1, r2\njr r31\nhalt")
+        assert prog.instructions[0].rd == 1 and prog.instructions[0].rs1 == 2
+        assert prog.instructions[1].rs1 == 31
+
+    def test_comments_and_blanks(self):
+        prog = assemble("""
+        # full line comment
+        add r1, r2, r3   # trailing comment
+
+        halt
+        """)
+        assert len(prog) == 2
+
+
+class TestLabels:
+    def test_backward_label(self):
+        prog = assemble("top:\naddi r1, r1, 1\nbne r1, r2, top\nhalt")
+        assert prog.instructions[1].imm == 0
+        assert prog.labels["top"] == 0
+
+    def test_forward_label(self):
+        prog = assemble("beq r1, r2, out\naddi r1, r1, 1\nout:\nhalt")
+        assert prog.instructions[0].imm == 2
+
+    def test_inline_label(self):
+        prog = assemble("start: li r1, 5\nj start\nhalt")
+        assert prog.labels["start"] == 0
+        assert prog.instructions[1].imm == 0
+
+    def test_dotted_label(self):
+        prog = assemble(".L0:\nj .L0\nhalt")
+        assert prog.labels[".L0"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nnop\na:\nhalt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble("j nowhere\nhalt")
+
+
+class TestDirectives:
+    def test_name_and_mem(self):
+        prog = assemble(".name demo\n.mem 0x20000\nhalt")
+        assert prog.name == "demo"
+        assert prog.mem_bytes == 0x20000
+
+    def test_data_words(self):
+        prog = assemble(".data 0x1000\n.word 1 2 3\nhalt")
+        seg = prog.segments[0]
+        assert seg.addr == 0x1000
+        assert list(seg.values) == [1, 2, 3]
+        assert seg.values.dtype == np.int64
+
+    def test_data_floats(self):
+        prog = assemble(".data 0x2000\n.float 1.5 -2.25\nhalt")
+        seg = prog.segments[0]
+        assert seg.values.dtype == np.float64
+        assert list(seg.values) == [1.5, -2.25]
+
+    def test_mixed_data_block_rejected(self):
+        with pytest.raises(AssemblerError, match="mixed"):
+            assemble(".data 0x1000\n.word 1\n.float 2.0\nhalt")
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".word 1 2\nhalt")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus 3\nhalt")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src", [
+        "frobnicate r1, r2",
+        "add r1, r2",               # wrong arity
+        "lw r1, r2",                # bad memory operand
+        "addi r1, r2, zzz",
+        "add r99, r1, r2",
+    ])
+    def test_malformed_rejected(self, src):
+        with pytest.raises((AssemblerError, ValueError)):
+            assemble(src + "\nhalt")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus r1\nhalt")
+
+
+class TestDisassemblerLoop:
+    def test_full_roundtrip(self, gather_program):
+        text = disassemble(gather_program, addresses=False)
+        again = assemble(text)
+        assert again.instructions == gather_program.instructions
+
+    def test_disassemble_words(self, gather_program):
+        words = encode_program(gather_program.instructions)
+        text = disassemble_words(words)
+        assert "lw" in text and "halt" in text
+
+    def test_addresses_present(self, gather_program):
+        text = disassemble(gather_program)
+        assert "0:" in text.splitlines()[0] or "0:" in text

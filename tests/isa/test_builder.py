@@ -1,0 +1,144 @@
+"""ProgramBuilder: allocation, labels, loops, validation."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Op, ProgramBuilder, WORD_SIZE
+
+
+class TestAlloc:
+    def test_returns_aligned_addresses(self):
+        b = ProgramBuilder()
+        a1 = b.alloc(3)
+        a2 = b.alloc(5)
+        assert a1 % WORD_SIZE == 0 and a2 % WORD_SIZE == 0
+        assert a2 >= a1 + 3 * WORD_SIZE
+
+    def test_custom_alignment(self):
+        b = ProgramBuilder()
+        b.alloc(1)
+        addr = b.alloc(4, align=64)
+        assert addr % 64 == 0
+
+    def test_init_sets_segment(self):
+        b = ProgramBuilder()
+        addr = b.alloc(0, init=np.arange(4, dtype=np.int64))
+        b.halt()
+        prog = b.build()
+        mem = prog.build_memory().view(np.int64)
+        assert list(mem[addr // 8: addr // 8 + 4]) == [0, 1, 2, 3]
+
+    def test_float_init(self):
+        b = ProgramBuilder()
+        addr = b.alloc(0, init=np.array([1.5, 2.5]), dtype=np.float64)
+        b.halt()
+        prog = b.build()
+        mem = prog.build_memory().view(np.float64)
+        assert mem[addr // 8] == 1.5
+
+    def test_overflow_rejected(self):
+        b = ProgramBuilder(mem_bytes=1 << 12)
+        with pytest.raises(ValueError, match="overflows"):
+            b.alloc(1 << 12)
+
+    def test_nonpositive_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            b.alloc(0)
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        b = ProgramBuilder()
+        out = b.label("out")
+        b.beq("r1", "r2", out)
+        b.nop()
+        b.place(out)
+        b.halt()
+        prog = b.build()
+        assert prog.instructions[0].imm == 2
+
+    def test_here_places_immediately(self):
+        b = ProgramBuilder()
+        b.nop()
+        top = b.here("top")
+        b.j(top)
+        b.halt()
+        prog = b.build()
+        assert prog.instructions[1].imm == 1
+        assert prog.labels["top"] == 1
+
+    def test_unplaced_label_rejected(self):
+        b = ProgramBuilder()
+        lab = b.label()
+        b.j(lab)
+        b.halt()
+        with pytest.raises(ValueError, match="never placed"):
+            b.build()
+
+    def test_double_place_rejected(self):
+        b = ProgramBuilder()
+        lab = b.here()
+        with pytest.raises(ValueError, match="already placed"):
+            b.place(lab)
+
+    def test_duplicate_name_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_auto_names_unique(self):
+        b = ProgramBuilder()
+        assert b.label().name != b.label().name
+
+
+class TestLoops:
+    def test_loop_down_structure(self):
+        b = ProgramBuilder()
+        b.li("r3", 4)
+        with b.loop_down("r3"):
+            b.nop()
+        b.halt()
+        prog = b.build()
+        ops = [i.op for i in prog.instructions]
+        assert ops == [Op.LI, Op.NOP, Op.ADDI, Op.BGTZ, Op.HALT]
+        assert prog.instructions[3].imm == 1  # back edge to loop top
+
+    def test_loop_counted_structure(self):
+        b = ProgramBuilder()
+        b.li("r2", 3)
+        with b.loop_counted("r1", "r2"):
+            b.nop()
+        b.halt()
+        prog = b.build()
+        ops = [i.op for i in prog.instructions]
+        assert ops == [Op.LI, Op.LI, Op.NOP, Op.ADDI, Op.BLT, Op.HALT]
+
+    def test_register_names_and_ids_mix(self):
+        b = ProgramBuilder()
+        b.add(1, "r2", 3)
+        b.halt()
+        ins = b.build().instructions[0]
+        assert (ins.rd, ins.rs1, ins.rs2) == (1, 2, 3)
+
+
+class TestBuildValidation:
+    def test_missing_halt_rejected(self):
+        b = ProgramBuilder()
+        b.nop()
+        with pytest.raises(ValueError, match="halt"):
+            b.build()
+
+    def test_validate_can_be_skipped(self):
+        b = ProgramBuilder()
+        b.nop()
+        prog = b.build(validate=False)
+        assert len(prog) == 1
+
+    def test_emitted_addresses_sequential(self):
+        b = ProgramBuilder()
+        assert b.nop() == 0
+        assert b.nop() == 1
+        b.halt()
+        assert len(b.build()) == 3

@@ -1,0 +1,87 @@
+"""Binary encoding round-trips, including property-based coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (Fmt, Instruction, OP_INFO, Op, decode, decode_program,
+                       encode, encode_program)
+from repro.isa.encoding import _IMM_MAX, _IMM_MIN
+
+
+def _random_instruction(draw) -> Instruction:
+    op = draw(st.sampled_from(list(Op)))
+    info = OP_INFO[op]
+    reg = st.integers(0, 31)
+    freg = st.integers(32, 63)
+    dreg = freg if info.fp_dest else reg
+    sreg = freg if info.fp_src else reg
+    imm = draw(st.integers(_IMM_MIN, _IMM_MAX))
+    fmt = info.fmt
+    if fmt == Fmt.R:
+        return Instruction(op, rd=draw(dreg), rs1=draw(sreg), rs2=draw(sreg))
+    if fmt == Fmt.I:
+        return Instruction(op, rd=draw(dreg), rs1=draw(reg), imm=imm)
+    if fmt == Fmt.LI:
+        return Instruction(op, rd=draw(dreg), imm=imm)
+    if fmt == Fmt.M:
+        return Instruction(op, rd=draw(dreg), rs1=draw(reg), imm=imm)
+    if fmt == Fmt.B:
+        return Instruction(op, rs1=draw(reg), rs2=draw(reg), imm=abs(imm) % 1000)
+    if fmt == Fmt.BZ:
+        return Instruction(op, rs1=draw(reg), imm=abs(imm) % 1000)
+    if fmt == Fmt.J:
+        rd = 31 if info.is_call else -1
+        return Instruction(op, rd=rd, imm=abs(imm) % 1000)
+    if fmt == Fmt.JR:
+        rd = draw(dreg) if not info.is_branch else (31 if info.is_call else -1)
+        return Instruction(op, rd=rd, rs1=draw(sreg))
+    return Instruction(op)
+
+
+@st.composite
+def instructions(draw):
+    return _random_instruction(draw)
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_identity(self, ins):
+        assert decode(encode(ins)) == ins
+
+    def test_encoded_fits_64_bits(self):
+        ins = Instruction(Op.LI, rd=31, imm=_IMM_MAX)
+        assert 0 <= encode(ins) < (1 << 64)
+
+    def test_negative_immediate(self):
+        ins = Instruction(Op.ADDI, rd=1, rs1=2, imm=-12345)
+        assert decode(encode(ins)).imm == -12345
+
+    def test_extreme_immediates(self):
+        for imm in (_IMM_MIN, _IMM_MAX, 0, -1, 1):
+            ins = Instruction(Op.LI, rd=1, imm=imm)
+            assert decode(encode(ins)).imm == imm
+
+    def test_out_of_range_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Op.LI, rd=1, imm=_IMM_MAX + 1))
+        with pytest.raises(ValueError):
+            encode(Instruction(Op.LI, rd=1, imm=_IMM_MIN - 1))
+
+    def test_unused_slots_roundtrip(self):
+        ins = Instruction(Op.NOP)
+        back = decode(encode(ins))
+        assert back.rd == -1 and back.rs1 == -1 and back.rs2 == -1
+
+
+class TestProgramEncoding:
+    def test_program_roundtrip(self, gather_program):
+        words = encode_program(gather_program.instructions)
+        assert words.dtype == np.uint64
+        back = decode_program(words)
+        assert back == gather_program.instructions
+
+    def test_program_encode_is_pure(self, gather_program):
+        w1 = encode_program(gather_program.instructions)
+        w2 = encode_program(gather_program.instructions)
+        assert np.array_equal(w1, w2)

@@ -1,0 +1,100 @@
+"""Instruction construction: source/destination derivation, rendering."""
+
+import pytest
+
+from repro.isa import FP_BASE, Instruction, LINK_REG, Op
+
+
+class TestSourcesAndDest:
+    def test_three_reg_alu(self):
+        ins = Instruction(Op.ADD, rd=3, rs1=1, rs2=2)
+        assert ins.srcs == (1, 2)
+        assert ins.dst == 3
+
+    def test_zero_register_not_a_source(self):
+        ins = Instruction(Op.ADD, rd=3, rs1=0, rs2=2)
+        assert ins.srcs == (2,)
+
+    def test_zero_register_not_a_dest(self):
+        ins = Instruction(Op.ADD, rd=0, rs1=1, rs2=2)
+        assert ins.dst == -1
+
+    def test_store_value_register_is_source(self):
+        ins = Instruction(Op.SW, rd=5, rs1=2, imm=8)
+        assert set(ins.srcs) == {5, 2}
+        assert ins.dst == -1
+
+    def test_load_dest(self):
+        ins = Instruction(Op.LW, rd=5, rs1=2, imm=8)
+        assert ins.srcs == (2,)
+        assert ins.dst == 5
+
+    def test_conditional_branch_no_dest(self):
+        ins = Instruction(Op.BEQ, rs1=1, rs2=2, imm=10)
+        assert ins.dst == -1
+        assert ins.is_conditional
+
+    def test_jal_writes_link(self):
+        ins = Instruction(Op.JAL, rd=LINK_REG, imm=4)
+        assert ins.dst == LINK_REG
+        assert ins.is_call
+
+    def test_jr_reads_target(self):
+        ins = Instruction(Op.JR, rs1=LINK_REG)
+        assert ins.srcs == (LINK_REG,)
+        assert ins.dst == -1
+
+    def test_fp_sources(self):
+        ins = Instruction(Op.FADD, rd=FP_BASE + 1, rs1=FP_BASE + 2,
+                          rs2=FP_BASE + 3)
+        assert ins.srcs == (FP_BASE + 2, FP_BASE + 3)
+        assert ins.dst == FP_BASE + 1
+
+    def test_fsw_sources(self):
+        ins = Instruction(Op.FSW, rd=FP_BASE + 1, rs1=4, imm=0)
+        assert set(ins.srcs) == {FP_BASE + 1, 4}
+        assert ins.dst == -1
+
+    def test_li_no_sources(self):
+        ins = Instruction(Op.LI, rd=4, imm=99)
+        assert ins.srcs == ()
+        assert ins.dst == 4
+
+
+class TestFlags:
+    def test_direct_branch(self):
+        assert Instruction(Op.BEQ, rs1=1, rs2=2, imm=3).is_direct_branch
+        assert Instruction(Op.J, imm=3).is_direct_branch
+        assert not Instruction(Op.JR, rs1=31).is_direct_branch
+        assert not Instruction(Op.ADD, rd=1, rs1=2, rs2=3).is_direct_branch
+
+    def test_equality_and_hash(self):
+        a = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        b = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        c = Instruction(Op.ADD, rd=1, rs1=2, rs2=4)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestRender:
+    @pytest.mark.parametrize("ins,text", [
+        (Instruction(Op.ADD, rd=3, rs1=1, rs2=2), "add r3, r1, r2"),
+        (Instruction(Op.ADDI, rd=3, rs1=1, imm=-4), "addi r3, r1, -4"),
+        (Instruction(Op.LI, rd=2, imm=7), "li r2, 7"),
+        (Instruction(Op.LW, rd=4, rs1=2, imm=16), "lw r4, 16(r2)"),
+        (Instruction(Op.BEQ, rs1=1, rs2=2, imm=9), "beq r1, r2, 9"),
+        (Instruction(Op.BLTZ, rs1=1, imm=9), "bltz r1, 9"),
+        (Instruction(Op.J, imm=0), "j 0"),
+        (Instruction(Op.JR, rs1=31), "jr r31"),
+        (Instruction(Op.MOV, rd=1, rs1=2), "mov r1, r2"),
+        (Instruction(Op.NOP), "nop"),
+        (Instruction(Op.HALT), "halt"),
+        (Instruction(Op.FADD, rd=FP_BASE, rs1=FP_BASE + 1, rs2=FP_BASE + 2),
+         "fadd f0, f1, f2"),
+    ])
+    def test_render(self, ins, text):
+        assert ins.render() == text
+
+    def test_render_with_labels(self):
+        ins = Instruction(Op.BEQ, rs1=1, rs2=2, imm=9)
+        assert ins.render({9: "loop"}) == "beq r1, r2, loop"

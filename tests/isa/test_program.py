@@ -1,0 +1,88 @@
+"""Program image: segments, memory build, validation."""
+
+import numpy as np
+import pytest
+
+from repro.isa import DataSegment, Instruction, Op, Program
+
+
+def _halted(instrs):
+    return Program(list(instrs) + [Instruction(Op.HALT)])
+
+
+class TestDataSegment:
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError, match="unaligned"):
+            DataSegment(3, np.zeros(2, dtype=np.int64))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            DataSegment(0, np.zeros(2, dtype=np.int32))
+
+    def test_extent(self):
+        seg = DataSegment(16, np.zeros(4, dtype=np.int64))
+        assert seg.nbytes == 32
+        assert seg.end == 48
+
+
+class TestMemoryBuild:
+    def test_int_and_float_segments(self):
+        prog = Program(
+            [Instruction(Op.HALT)],
+            segments=[DataSegment(0, np.array([7, -1], dtype=np.int64)),
+                      DataSegment(16, np.array([2.5], dtype=np.float64))],
+            mem_bytes=64)
+        mem = prog.build_memory()
+        assert mem.view(np.int64)[0] == 7
+        assert mem.view(np.int64)[1] == -1
+        assert mem.view(np.float64)[2] == 2.5
+
+    def test_segment_beyond_memory_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Program([Instruction(Op.HALT)],
+                    segments=[DataSegment(0, np.zeros(100, dtype=np.int64))],
+                    mem_bytes=64)
+
+    def test_memory_zero_filled(self):
+        prog = Program([Instruction(Op.HALT)], mem_bytes=128)
+        assert not prog.build_memory().any()
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Program([]).validate()
+
+    def test_branch_target_out_of_range(self):
+        prog = _halted([Instruction(Op.J, imm=99)])
+        with pytest.raises(ValueError, match="target"):
+            prog.validate()
+
+    def test_no_halt_rejected(self):
+        prog = Program([Instruction(Op.NOP)])
+        with pytest.raises(ValueError, match="halt"):
+            prog.validate()
+
+    def test_bad_label_rejected(self):
+        prog = _halted([Instruction(Op.NOP)])
+        prog.labels["x"] = 99
+        with pytest.raises(ValueError, match="label"):
+            prog.validate()
+
+    def test_valid_passes(self, gather_program):
+        gather_program.validate()
+
+    def test_address_to_label(self):
+        prog = _halted([Instruction(Op.NOP)])
+        prog.labels.update({"a": 0, "b": 0, "c": 1})
+        inv = prog.address_to_label
+        assert inv[0] in ("a", "b")
+        assert inv[1] == "c"
+
+    def test_from_words_roundtrip(self, gather_program):
+        again = Program.from_words(gather_program.encode(),
+                                   name=gather_program.name,
+                                   labels=gather_program.labels,
+                                   mem_bytes=gather_program.mem_bytes)
+        assert again.instructions == gather_program.instructions
+        assert again.name == gather_program.name

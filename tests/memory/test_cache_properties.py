@@ -1,0 +1,72 @@
+"""Property-based cache invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache, CacheConfig
+
+addr = st.integers(0, 1 << 20)
+
+
+class TestCacheProperties:
+    @given(st.lists(addr, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_access_installs(self, addrs):
+        """After accessing an address, it is always present."""
+        c = Cache(CacheConfig("p", sets=8, ways=2, block_bytes=32))
+        for a in addrs:
+            c.access(a)
+            assert c.contains(a)
+
+    @given(st.lists(addr, min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_stats_conservation(self, addrs):
+        """hits + misses == accesses, always."""
+        c = Cache(CacheConfig("p", sets=4, ways=4, block_bytes=64))
+        for a in addrs:
+            c.access(a)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_lru(self, block_ids):
+        """The cache agrees with a straightforward ordered-list LRU model."""
+        ways = 2
+        c = Cache(CacheConfig("p", sets=1, ways=ways, block_bytes=32))
+        reference: list[int] = []    # most recent last
+        for bid in block_ids:
+            a = bid * 32
+            hit = c.access(a)
+            ref_hit = bid in reference
+            assert hit == ref_hit
+            if ref_hit:
+                reference.remove(bid)
+            elif len(reference) == ways:
+                reference.pop(0)
+            reference.append(bid)
+
+    @given(st.lists(addr, min_size=1, max_size=100), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_recent_distinct_blocks_hit(self, addrs, ways):
+        """The most recent `ways` distinct blocks of a set all hit."""
+        c = Cache(CacheConfig("p", sets=1, ways=ways, block_bytes=32))
+        recent: list[int] = []
+        for a in addrs:
+            c.access(a)
+            bid = a >> 5
+            if bid in recent:
+                recent.remove(bid)
+            recent.append(bid)
+            recent = recent[-ways:]
+        for bid in recent:
+            assert c.contains(bid << 5)
+
+    @given(st.lists(addr, min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded(self, addrs):
+        c = Cache(CacheConfig("p", sets=4, ways=2, block_bytes=32))
+        for a in addrs:
+            c.access(a)
+        assert 0.0 < c.utilization() <= 1.0
+        distinct = len({a >> 5 for a in addrs})
+        valid = round(c.utilization() * 8)
+        assert valid <= min(8, distinct)

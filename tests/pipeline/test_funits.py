@@ -1,0 +1,56 @@
+"""Functional-unit pools: per-cycle budgets and structural hazards."""
+
+from repro.core import FUConfig
+from repro.isa import OpClass
+from repro.pipeline import FU_OF_CLASS, FUKind, FUPool
+
+
+class TestPool:
+    def test_paper_capacities(self):
+        pool = FUPool(FUConfig())
+        assert sum(pool.take(int(OpClass.INT_ALU)) for _ in range(5)) == 4
+        assert pool.take(int(OpClass.INT_MUL))
+        assert not pool.take(int(OpClass.INT_DIV))   # shares the MUL/DIV unit
+
+    def test_mem_ports(self):
+        pool = FUPool(FUConfig())
+        assert pool.take(int(OpClass.LOAD))
+        assert pool.take(int(OpClass.STORE))
+        assert not pool.take(int(OpClass.LOAD))
+
+    def test_begin_cycle_refreshes(self):
+        pool = FUPool(FUConfig(int_alu=1))
+        assert pool.take(int(OpClass.INT_ALU))
+        assert not pool.take(int(OpClass.INT_ALU))
+        pool.begin_cycle()
+        assert pool.take(int(OpClass.INT_ALU))
+
+    def test_conflict_counting(self):
+        pool = FUPool(FUConfig(fp_muldiv=1))
+        pool.take(int(OpClass.FP_MUL))
+        pool.take(int(OpClass.FP_DIV))
+        pool.take(int(OpClass.FP_DIV))
+        assert pool.conflicts[FUKind.FP_MULDIV] == 2
+
+    def test_available(self):
+        pool = FUPool(FUConfig())
+        assert pool.available(int(OpClass.INT_ALU)) == 4
+        pool.take(int(OpClass.BRANCH))               # branches use int ALUs
+        assert pool.available(int(OpClass.INT_ALU)) == 3
+
+    def test_fp_and_int_independent(self):
+        pool = FUPool(FUConfig(int_alu=1, fp_alu=1))
+        assert pool.take(int(OpClass.INT_ALU))
+        assert pool.take(int(OpClass.FP_ALU))
+        assert not pool.take(int(OpClass.INT_ALU))
+        assert not pool.take(int(OpClass.FP_ALU))
+
+
+class TestMapping:
+    def test_every_class_mapped(self):
+        for cls in OpClass:
+            assert int(cls) in FU_OF_CLASS
+
+    def test_memory_classes_use_ports(self):
+        assert FU_OF_CLASS[int(OpClass.LOAD)] == FUKind.MEM_PORT
+        assert FU_OF_CLASS[int(OpClass.STORE)] == FUKind.MEM_PORT

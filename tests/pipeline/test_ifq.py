@@ -1,0 +1,119 @@
+"""IFQ: FIFO behaviour, indicator marking, bubbles, flushes."""
+
+import pytest
+
+from repro.pipeline import InstructionFetchQueue
+
+
+class TestFIFO:
+    def test_push_pop_order(self):
+        q = InstructionFetchQueue(8)
+        for i in range(5):
+            q.push(i)
+        assert [q.pop_head().trace_idx for _ in range(5)] == list(range(5))
+
+    def test_occupancy_and_full(self):
+        q = InstructionFetchQueue(3)
+        assert q.is_empty
+        for i in range(3):
+            q.push(i)
+        assert q.is_full and q.occupancy == 3
+        with pytest.raises(OverflowError):
+            q.push(9)
+
+    def test_seq_monotonic(self):
+        q = InstructionFetchQueue(4)
+        s0 = q.push(0).seq
+        s1 = q.push(1).seq
+        q.pop_head()
+        s2 = q.push(2).seq
+        assert s0 < s1 < s2
+
+    def test_head_seq(self):
+        q = InstructionFetchQueue(4)
+        q.push(0)
+        q.push(1)
+        q.pop_head()
+        assert q.head_seq == 1
+
+    def test_peek(self):
+        q = InstructionFetchQueue(4)
+        assert q.peek_head() is None
+        q.push(7)
+        assert q.peek_head().trace_idx == 7
+        assert q.occupancy == 1
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            InstructionFetchQueue(0)
+
+
+class TestMarking:
+    def test_marked_queue_order(self):
+        q = InstructionFetchQueue(8)
+        q.push(0, marked=True)
+        q.push(1)
+        q.push(2, marked=True, is_dload=True)
+        mq = list(q.marked_queue)
+        assert [s.trace_idx for s in mq] == [0, 2]
+        assert mq[1].is_dload
+
+    def test_next_marked_from_seq(self):
+        q = InstructionFetchQueue(8)
+        a = q.push(0, marked=True)
+        b = q.push(1, marked=True)
+        assert q.next_marked(0) is a
+        assert q.next_marked(a.seq + 1) is b
+        assert q.next_marked(b.seq + 1) is None
+
+    def test_extraction_clears_mark(self):
+        q = InstructionFetchQueue(8)
+        a = q.push(0, marked=True)
+        a.marked = False
+        assert q.next_marked(0) is None
+
+    def test_consumed_entries_pruned(self):
+        q = InstructionFetchQueue(8)
+        q.push(0, marked=True)
+        b = q.push(1, marked=True)
+        q.pop_head()
+        q.prune_marked()
+        assert list(q.marked_queue) == [b]
+
+
+class TestBubblesAndFlush:
+    def test_bubble_occupies(self):
+        q = InstructionFetchQueue(4)
+        q.push_bubble()
+        assert q.occupancy == 1
+        assert q.peek_head().trace_idx == -1
+
+    def test_flush_bubbles_only_tail(self):
+        q = InstructionFetchQueue(8)
+        q.push(0)
+        q.push_bubble()
+        q.push_bubble()
+        assert q.flush_bubbles() == 2
+        assert q.occupancy == 1
+        assert q.peek_head().trace_idx == 0
+
+    def test_flush_after_seq(self):
+        q = InstructionFetchQueue(8)
+        a = q.push(0)
+        q.push(1, marked=True)
+        q.push(2, marked=True)
+        assert q.flush_after(a.seq) == 2
+        assert q.occupancy == 1
+        q.prune_marked()
+        assert q.next_marked(0) is None   # flushed marks cleared
+
+    def test_flush_after_nothing_younger(self):
+        q = InstructionFetchQueue(8)
+        a = q.push(0)
+        assert q.flush_after(a.seq) == 0
+
+    def test_clear(self):
+        q = InstructionFetchQueue(8)
+        q.push(0, marked=True)
+        q.clear()
+        assert q.is_empty and not q.marked_queue

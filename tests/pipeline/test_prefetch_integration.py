@@ -1,0 +1,108 @@
+"""Hardware prefetchers inside the timing model, and chaining triggers."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import BASELINE, SPEAR_128
+from repro.core.configs import BASELINE_NEXTLINE, BASELINE_STRIDE
+from repro.functional import run_program
+from repro.isa import ProgramBuilder
+from repro.pipeline import simulate
+
+
+@pytest.fixture(scope="module")
+def stream_trace():
+    """Pure streaming kernel: a stride prefetcher's best case."""
+    b = ProgramBuilder("stream", mem_bytes=8 << 20)
+    n = 1 << 16
+    base = b.alloc(n, init=np.arange(n, dtype=np.int64))
+    b.li("r1", base)
+    b.li("r2", 0)
+    b.li("r3", 6000)
+    with b.loop_down("r3"):
+        b.lw("r4", "r1", 0)
+        b.add("r2", "r2", "r4")
+        b.addi("r1", "r1", 8)
+    b.halt()
+    return run_program(b.build(), max_instructions=40_000)
+
+
+@pytest.fixture(scope="module")
+def chase_trace():
+    """Pure pointer chase: a stride prefetcher's worst case."""
+    rng = np.random.default_rng(3)
+    b = ProgramBuilder("chase", mem_bytes=8 << 20)
+    n = 1 << 15
+    perm = rng.permutation(n)
+    nxt = np.empty(n, dtype=np.int64)
+    nxt[perm[:-1]] = perm[1:]
+    nxt[perm[-1]] = perm[0]
+    base = b.alloc(n, init=nxt)
+    b.li("r1", base)
+    b.li("r10", 0)
+    b.li("r3", 4000)
+    with b.loop_down("r3"):
+        b.slli("r5", "r10", 3)
+        b.add("r5", "r5", "r1")
+        b.lw("r10", "r5", 0)
+    b.halt()
+    return run_program(b.build(), max_instructions=40_000)
+
+
+class TestPrefetcherInPipeline:
+    def test_stride_accelerates_streams(self, stream_trace):
+        base = simulate(stream_trace, BASELINE)
+        stride = simulate(stream_trace, BASELINE_STRIDE)
+        assert stride.ipc > base.ipc * 1.1
+        assert stride.memory["prefetch_fills"] > 100
+
+    def test_nextline_accelerates_streams(self, stream_trace):
+        base = simulate(stream_trace, BASELINE)
+        nl = simulate(stream_trace, BASELINE_NEXTLINE)
+        assert nl.ipc > base.ipc * 1.1
+
+    def test_stride_fails_on_pointer_chase(self, chase_trace):
+        base = simulate(chase_trace, BASELINE)
+        stride = simulate(chase_trace, BASELINE_STRIDE)
+        assert stride.ipc < base.ipc * 1.05     # no help on random chains
+        assert stride.memory["prefetch_fills"] < 200
+
+    def test_prefetch_stats_in_result(self, stream_trace):
+        res = simulate(stream_trace, BASELINE_STRIDE)
+        assert res.prefetcher["observed"] > 0
+        assert res.prefetcher["issued"] > 0
+        none = simulate(stream_trace, BASELINE)
+        assert none.prefetcher["issued"] == 0
+
+    def test_prefetcher_ignores_pthread_loads(self, stream_trace):
+        """The prefetcher trains on demand (main-thread) accesses only."""
+        cfg = dataclasses.replace(SPEAR_128, name="spf", prefetcher="stride")
+        res = simulate(stream_trace, cfg)
+        # observed == main thread loads, not main + p-thread
+        main_loads = sum(1 for e in stream_trace if e.is_load)
+        assert res.prefetcher["observed"] == main_loads
+
+
+class TestChainingTriggers:
+    def test_chaining_never_fewer_triggers(self, gather_trace, gather_table):
+        plain = simulate(gather_trace, SPEAR_128, gather_table)
+        chained = simulate(
+            gather_trace,
+            dataclasses.replace(SPEAR_128, name="chain", chaining=True),
+            gather_table)
+        assert (chained.stats.spear.triggers
+                >= plain.stats.spear.triggers)
+
+    def test_chaining_bypasses_occupancy(self, gather_trace, gather_table):
+        """With a prohibitive threshold, only chaining re-triggers run."""
+        strict = dataclasses.replace(
+            SPEAR_128, name="strict", trigger_occupancy_fraction=0.95)
+        strict_chain = dataclasses.replace(
+            strict, name="strict+chain", chaining=True)
+        plain = simulate(gather_trace, strict, gather_table)
+        chained = simulate(gather_trace, strict_chain, gather_table)
+        assert (chained.stats.spear.triggers
+                >= plain.stats.spear.triggers)
+        assert chained.stats.committed == len(gather_trace)

@@ -1,0 +1,140 @@
+"""Property-based timing-model invariants over randomized traces.
+
+Whatever instruction mix, dependence structure, or machine shape hypothesis
+draws, the pipeline must terminate, conserve instruction counts, respect
+width bounds, and be deterministic.  SPEAR with an arbitrary (valid)
+p-thread table must never change the committed instruction count.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BASELINE, PThread, PThreadTable, SPEAR_128
+from repro.functional import Trace, TraceEntry
+from repro.isa import OpClass
+from repro.pipeline import simulate
+
+_CLASSES = [int(OpClass.INT_ALU), int(OpClass.INT_MUL), int(OpClass.FP_ALU),
+            int(OpClass.FP_MUL), int(OpClass.LOAD), int(OpClass.STORE)]
+
+
+@st.composite
+def random_traces(draw, max_len=220, n_pcs=12):
+    """A random but well-formed committed-path trace."""
+    length = draw(st.integers(5, max_len))
+    entries = []
+    written: list[int] = []
+    for _ in range(length):
+        pc = draw(st.integers(0, n_pcs - 1))
+        if draw(st.integers(0, 7)) == 0:
+            taken = draw(st.booleans())
+            srcs = tuple(draw(st.sampled_from(written)) for _ in range(
+                min(len(written), draw(st.integers(0, 1)))))
+            entries.append(TraceEntry(pc, int(OpClass.BRANCH), srcs, -1,
+                                      -1, taken, False, False, True, True))
+            continue
+        cls = draw(st.sampled_from(_CLASSES))
+        n_srcs = min(len(written), draw(st.integers(0, 2)))
+        srcs = tuple(draw(st.sampled_from(written))
+                     for _ in range(n_srcs)) if written else ()
+        is_load = cls == int(OpClass.LOAD)
+        is_store = cls == int(OpClass.STORE)
+        addr = draw(st.integers(0, 1 << 14)) * 8 if (is_load or is_store) else -1
+        dst = -1 if is_store else draw(st.integers(1, 15))
+        if cls in (int(OpClass.FP_ALU), int(OpClass.FP_MUL)) and dst != -1:
+            dst += 32
+        if dst != -1:
+            written.append(dst)
+            written = written[-20:]
+        entries.append(TraceEntry(pc, cls, srcs, dst, addr, False,
+                                  is_load, is_store, False, False))
+    return Trace(entries, program_name="hypothesis")
+
+
+def random_table(trace: Trace) -> PThreadTable:
+    """A p-thread over the first load pc found (if any)."""
+    table = PThreadTable()
+    load_pcs = sorted({e.pc for e in trace if e.is_load})
+    if load_pcs:
+        dload = load_pcs[-1]
+        table.add(PThread(dload_pc=dload,
+                          slice_pcs=frozenset(load_pcs + [dload]),
+                          live_ins=(1, 2)))
+    return table
+
+
+class TestUniversalInvariants:
+    @given(random_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_baseline_terminates_and_conserves(self, trace):
+        res = simulate(trace, BASELINE)
+        s = res.stats
+        assert s.committed == len(trace)
+        assert s.decoded == len(trace)
+        assert s.issued == len(trace)
+        # width bound: can never beat commit_width per cycle
+        assert s.cycles * 8 >= len(trace)
+
+    @given(random_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_spear_conserves_commits(self, trace):
+        table = random_table(trace)
+        res = simulate(trace, SPEAR_128, table)
+        assert res.stats.committed == len(trace)
+        assert res.stats.issued == (len(trace)
+                                    + res.stats.spear.pthread_instrs)
+
+    @given(random_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, trace):
+        a = simulate(trace, SPEAR_128, random_table(trace))
+        b = simulate(trace, SPEAR_128, random_table(trace))
+        assert a.stats.cycles == b.stats.cycles
+        assert a.main_l1_misses == b.main_l1_misses
+
+    @given(random_traces(), st.sampled_from(["reconverge", "bubbles", "stall"]))
+    @settings(max_examples=45, deadline=None)
+    def test_every_wrong_path_mode_terminates(self, trace, mode):
+        cfg = dataclasses.replace(SPEAR_128, name=mode, wrong_path=mode)
+        res = simulate(trace, cfg, random_table(trace))
+        assert res.stats.committed == len(trace)
+
+    @given(random_traces(),
+           st.sampled_from(["livein", "none", "full"]),
+           st.booleans())
+    @settings(max_examples=45, deadline=None)
+    def test_drain_and_chaining_combinations(self, trace, drain, chain):
+        cfg = dataclasses.replace(SPEAR_128, name=f"{drain}-{chain}",
+                                  drain_policy=drain, chaining=chain)
+        res = simulate(trace, cfg, random_table(trace))
+        assert res.stats.committed == len(trace)
+
+    @given(random_traces(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_narrow_machines_terminate(self, trace, width):
+        cfg = dataclasses.replace(
+            BASELINE, name=f"w{width}", fetch_width=width,
+            decode_width=width, issue_width=width, commit_width=width,
+            extract_width=1, ifq_size=max(8, width))
+        res = simulate(trace, cfg)
+        assert res.stats.committed == len(trace)
+
+    @given(random_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_memory_stats_conserve(self, trace):
+        res = simulate(trace, SPEAR_128, random_table(trace))
+        t0 = res.memory["threads"][0]
+        demand = sum(1 for e in trace if e.is_load or e.is_store)
+        assert t0["accesses"] == demand
+        assert (t0["l1_hits"] + t0["l1_misses"] + t0["delayed_hits"]
+                == t0["accesses"])
+
+    @given(random_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_spear_cache_benefit_never_negative_commits(self, trace):
+        """SPEAR can slow things down, but only within bounds: it executes
+        the same committed work with at most extra p-thread overhead."""
+        base = simulate(trace, BASELINE)
+        spear = simulate(trace, SPEAR_128, random_table(trace))
+        assert spear.stats.cycles <= base.stats.cycles * 3 + 1000

@@ -1,0 +1,92 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+SCALE = ["--scale", "0.2"]
+
+
+class TestList:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pointer", "mcf", "art", "ll4"):
+            assert name in out
+
+
+class TestCompile:
+    def test_report_printed(self, capsys):
+        assert main(["compile", "pointer", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "SPEAR compile report" in out
+        assert "delinquent load" in out
+
+    def test_binary_saved(self, capsys, tmp_path):
+        path = tmp_path / "p.json"
+        assert main(["compile", "pointer", "-o", str(path), *SCALE]) == 0
+        assert path.exists()
+        from repro.core import SpearBinary
+        assert len(SpearBinary.load(path).table) > 0
+
+
+class TestDisasm:
+    def test_annotated(self, capsys):
+        assert main(["disasm", "pointer", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "p-thread" in out
+        assert "\nD " in out     # at least one d-load flagged
+        assert "lw" in out
+
+
+class TestRun:
+    def test_summary(self, capsys):
+        assert main(["run", "pointer", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out and "triggers" in out
+
+    def test_unknown_config(self, capsys):
+        assert main(["run", "pointer", "--config", "SPEAR-512", *SCALE]) == 2
+
+    def test_baseline_config(self, capsys):
+        assert main(["run", "pointer", "--config", "baseline", *SCALE]) == 0
+
+
+class TestCompare:
+    def test_all_models(self, capsys):
+        assert main(["compare", "pointer", *SCALE]) == 0
+        out = capsys.readouterr().out
+        for model in ("baseline", "SPEAR-128", "SPEAR-256",
+                      "SPEAR.sf-128", "SPEAR.sf-256"):
+            assert model in out
+
+
+class TestAnalyze:
+    def test_trigger_analysis(self, capsys):
+        assert main(["analyze", "pointer", *SCALE]) == 0
+        assert "Trigger-point analysis" in capsys.readouterr().out
+
+
+class TestFiguresAndTables:
+    def test_figure6_subset(self, capsys):
+        assert main(["figure", "6", "pointer", *SCALE]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "12", *SCALE]) == 2
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "IFQ size" in capsys.readouterr().out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table", "1", "pointer", *SCALE]) == 0
+        assert "benchmark suite" in capsys.readouterr().out
+
+    def test_table_unknown(self, capsys):
+        assert main(["table", "9", *SCALE]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
