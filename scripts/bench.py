@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Convenience wrapper: ``python scripts/bench.py [--quick] [...]``.
+
+Equivalent to ``python -m repro bench`` with the repository's ``src/`` on
+``sys.path``, so it works from a clean checkout without installation.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

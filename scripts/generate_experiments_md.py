@@ -29,6 +29,12 @@ pytest benchmarks/ --benchmark-only
 python scripts/generate_experiments_md.py
 ```
 
+Individual figures can also be regenerated directly — and much faster —
+via the parallel path (`python -m repro figure 6 --jobs 8`), which fans
+the workload × config matrix over worker processes and reuses the
+persistent artifact cache; the output is byte-identical to a serial run
+(see README § Performance).
+
 Absolute numbers are **not** expected to match the paper — the substrate is
 a trace-driven cycle-level model over synthetic benchmark analogs at
 ~10^5-instruction scale, not the authors' execute-driven SimpleScalar runs

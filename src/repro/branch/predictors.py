@@ -37,6 +37,8 @@ class PredictorStats:
 class BranchPredictor:
     """Interface for direction predictors."""
 
+    __slots__ = ("stats",)
+
     def __init__(self) -> None:
         self.stats = PredictorStats()
 
@@ -65,6 +67,8 @@ class BimodalPredictor(BranchPredictor):
     weakly taken (2), matching SimpleScalar's bimodal default.
     """
 
+    __slots__ = ("table_size", "_mask", "_table")
+
     def __init__(self, table_size: int = 2048):
         super().__init__()
         if table_size <= 0 or table_size & (table_size - 1):
@@ -92,6 +96,9 @@ class BimodalPredictor(BranchPredictor):
 
 class GsharePredictor(BranchPredictor):
     """Global-history XOR-indexed 2-bit counter table (ablation option)."""
+
+    __slots__ = ("table_size", "history_bits", "_mask", "_hmask",
+                 "_table", "_history")
 
     def __init__(self, table_size: int = 2048, history_bits: int = 8):
         super().__init__()
@@ -129,6 +136,8 @@ class GsharePredictor(BranchPredictor):
 class AlwaysTakenPredictor(BranchPredictor):
     """Degenerate predictor: everything is taken."""
 
+    __slots__ = ()
+
     def predict(self, pc: int) -> bool:
         return True
 
@@ -142,6 +151,8 @@ class StaticBTFNPredictor(BranchPredictor):
     Needs the branch target to classify direction, so ``predict`` consults
     a target map captured at construction.
     """
+
+    __slots__ = ("_targets",)
 
     def __init__(self, targets: dict[int, int]):
         super().__init__()

@@ -11,16 +11,24 @@ compare WORKLOAD     baseline vs all SPEAR models on one workload
 analyze WORKLOAD     trigger-point timeliness analysis of the p-threads
 figure {6,7,8,9}     regenerate a figure of the paper
 table {1,2,3}        regenerate a table of the paper
+bench                time compile/trace/simulate phases, write BENCH json
+
+``figure``, ``table`` and ``compare`` accept ``--jobs N`` (parallel cell
+fan-out over processes, default CPU count), ``--cache-dir``/``--no-cache``
+(persistent artifact cache, default ``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .core.configs import PAPER_CONFIGS, BASELINE
-from .harness import (ExperimentRunner, figure6, figure7, figure8, figure9,
-                      table1, table2, table3)
+from .harness import (Cell, DiskCache, ExperimentRunner, build_artifacts,
+                      cells_for, default_jobs, figure6, figure7, figure8,
+                      figure9, run_cells, table1, table2, table3)
 from .workloads import all_workload_names, get_workload
 
 
@@ -29,8 +37,29 @@ def _add_scale(p: argparse.ArgumentParser) -> None:
                    help="scale every instruction budget (default 1.0)")
 
 
+def _add_perf(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker processes for the cell matrix "
+                        "(default: CPU count; 1 = exact serial path)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent artifact cache location "
+                        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the persistent artifact cache")
+    p.set_defaults(use_cache=True)
+
+
 def _runner(args) -> ExperimentRunner:
-    return ExperimentRunner(instruction_scale=args.scale)
+    cache = None
+    if getattr(args, "use_cache", False) and not getattr(args, "no_cache",
+                                                         False):
+        cache = DiskCache(getattr(args, "cache_dir", None))
+    return ExperimentRunner(instruction_scale=args.scale, cache=cache)
+
+
+def _jobs(args) -> int:
+    jobs = getattr(args, "jobs", None)
+    return default_jobs() if jobs is None else max(1, jobs)
 
 
 def cmd_list(args) -> int:
@@ -89,6 +118,9 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     runner = _runner(args)
+    jobs = _jobs(args)
+    if jobs > 1:
+        run_cells(runner, cells_for("compare", [args.workload]), jobs)
     base = runner.run(args.workload, BASELINE)
     print(f"{'model':14s} {'IPC':>8s} {'speedup':>9s} {'L1 misses':>10s} "
           f"{'triggers':>9s}")
@@ -118,6 +150,9 @@ def cmd_analyze(args) -> int:
 def cmd_figure(args) -> int:
     runner = _runner(args)
     workloads = args.workloads or None
+    jobs = _jobs(args)
+    if jobs > 1 and args.number in (6, 7, 8, 9):
+        run_cells(runner, cells_for(f"figure{args.number}", workloads), jobs)
     if args.number == 6:
         print(figure6(runner, workloads).table("Figure 6").render())
     elif args.number == 7:
@@ -134,6 +169,14 @@ def cmd_figure(args) -> int:
 
 def cmd_table(args) -> int:
     runner = _runner(args)
+    jobs = _jobs(args)
+    if jobs > 1 and args.number in (1, 3):
+        from .harness.experiments import EVAL_WORKLOADS
+        names = args.workloads or EVAL_WORKLOADS
+        build_artifacts(runner, names, jobs)
+        if args.number == 3:
+            run_cells(runner, cells_for("table3", args.workloads or None),
+                      jobs)
     if args.number == 1:
         print(table1(runner, args.workloads or None).render())
     elif args.number == 2:
@@ -143,6 +186,23 @@ def cmd_table(args) -> int:
     else:
         print("tables: 1, 2, 3", file=sys.stderr)
         return 2
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from .harness.bench import render_report, run_bench
+    reference = None
+    if args.reference:
+        reference = json.loads(Path(args.reference).read_text())
+    report = run_bench(scale=args.scale, jobs=getattr(args, "jobs", None),
+                       cache_dir=getattr(args, "cache_dir", None),
+                       workloads=args.workloads or None,
+                       output=args.output, quick=args.quick,
+                       reference=reference)
+    print(render_report(report))
+    print(f"\nreport written to {args.output}")
     return 0
 
 
@@ -175,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="baseline vs all SPEAR models")
     p.add_argument("workload")
     _add_scale(p)
+    _add_perf(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("analyze", help="trigger-point timeliness analysis")
@@ -186,13 +247,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int)
     p.add_argument("workloads", nargs="*")
     _add_scale(p)
+    _add_perf(p)
     p.set_defaults(fn=cmd_figure)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int)
     p.add_argument("workloads", nargs="*")
     _add_scale(p)
+    _add_perf(p)
     p.set_defaults(fn=cmd_table)
+
+    p = sub.add_parser(
+        "bench", help="time compile/trace/simulate, write a BENCH json")
+    p.add_argument("workloads", nargs="*")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke mode: cap --scale at 0.05 (<60 s)")
+    p.add_argument("-o", "--output", default="BENCH_pr1.json",
+                   help="report path (default BENCH_pr1.json)")
+    p.add_argument("--reference",
+                   help="JSON report from an older commit to compare against")
+    _add_scale(p)
+    _add_perf(p)
+    p.set_defaults(fn=cmd_bench)
 
     return parser
 

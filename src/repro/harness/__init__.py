@@ -1,10 +1,16 @@
-"""Evaluation harness: runner, experiments (one per paper table/figure)."""
+"""Evaluation harness: runner, experiments (one per paper table/figure),
+persistent artifact cache, parallel engine and the phase-timing bench."""
 
+from .bench import render_report, run_bench
+from .diskcache import CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache, \
+    default_cache_dir
 from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
                           LatencySweepResult, MissReductionResult,
                           REGULAR_WORKLOADS, SpeedupResult, figure6, figure7,
                           figure8, figure9, motivation, table1, table2,
                           table3)
+from .parallel import (Cell, build_artifacts, cells_for, default_jobs,
+                       run_cells)
 from .runner import ExperimentRunner, WorkloadArtifacts
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
@@ -13,4 +19,7 @@ __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "MissReductionResult", "SpeedupResult", "figure6", "figure7",
            "figure8", "figure9", "table1", "table2", "table3",
            "ExperimentRunner", "WorkloadArtifacts", "TextTable",
-           "arithmetic_mean", "geometric_mean"]
+           "arithmetic_mean", "geometric_mean",
+           "CACHE_DIR_ENV", "SCHEMA_VERSION", "DiskCache",
+           "default_cache_dir", "Cell", "build_artifacts", "cells_for",
+           "default_jobs", "run_cells", "render_report", "run_bench"]

@@ -1,0 +1,159 @@
+"""Persistent artifact cache under ``~/.cache/repro``.
+
+Stores the three expensive products of the evaluation pipeline —
+compiled :class:`~repro.core.spear_binary.SpearBinary` bundles (inside
+:class:`~repro.harness.runner.WorkloadArtifacts`), functional traces and
+:class:`~repro.pipeline.stats.PipelineResult`\\ s — so a rerun of any
+figure or table pays nothing for work an earlier run already did, even
+across processes (the parallel engine's workers share this cache).
+
+Entries are keyed by a content hash over everything that determines the
+value: workload name, instruction scale, slicer configuration, machine
+configuration and a cache schema version.  Changing any input (or bumping
+:data:`SCHEMA_VERSION` when the simulator's behaviour changes) therefore
+invalidates cleanly — stale entries are simply never looked up again.
+
+Robustness: entries are written atomically (tempfile + ``os.replace``) and
+any unreadable entry — truncated, corrupt, wrong pickle version — is
+treated as a miss and deleted, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump whenever a change to the compiler, functional simulator or timing
+#: model alters what cached artifacts/results would contain.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def content_key(payload: dict) -> str:
+    """Stable hex digest of a JSON-serializable key payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheCounters:
+    """Per-kind accounting, surfaced by ``repro bench``."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0   # corrupt/unreadable entries recovered as misses
+
+    def snapshot(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "errors": self.errors}
+
+
+class DiskCache:
+    """Content-addressed pickle store with per-kind hit/miss counters.
+
+    ``kind`` namespaces the store (``"artifacts"``, ``"results"``) so the
+    same key payload can back different value types.
+    """
+
+    __slots__ = ("root", "schema_version", "counters")
+
+    def __init__(self, root: str | Path | None = None, *,
+                 schema_version: int = SCHEMA_VERSION):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.schema_version = schema_version
+        self.counters: dict[str, CacheCounters] = {}
+
+    # -- key/path plumbing -------------------------------------------------
+
+    def _counter(self, kind: str) -> CacheCounters:
+        c = self.counters.get(kind)
+        if c is None:
+            c = self.counters[kind] = CacheCounters()
+        return c
+
+    def key_for(self, kind: str, payload: dict) -> str:
+        return content_key({"schema": self.schema_version,
+                            "kind": kind, **payload})
+
+    def path_for(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.pkl"
+
+    # -- operations --------------------------------------------------------
+
+    def get(self, kind: str, payload: dict):
+        """Load the cached value, or ``None`` on miss.
+
+        A corrupt or truncated entry is removed and reported as a miss —
+        the caller rebuilds and overwrites it.
+        """
+        counter = self._counter(kind)
+        path = self.path_for(kind, self.key_for(kind, payload))
+        if not path.is_file():
+            counter.misses += 1
+            return None
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            counter.errors += 1
+            counter.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        counter.hits += 1
+        return value
+
+    def put(self, kind: str, payload: dict, value) -> None:
+        """Store atomically; concurrent writers of the same key are safe
+        (last ``os.replace`` wins with identical content)."""
+        path = self.path_for(kind, self.key_for(kind, payload))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._counter(kind).stores += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {kind: c.snapshot() for kind, c in sorted(self.counters.items())}
+
+    def clear(self) -> int:
+        """Delete every entry under the cache root; returns files removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,154 @@
+"""Parallel experiment engine: fan the evaluation matrix out over processes.
+
+Every figure/table is a (workload × machine-config [× latency]) matrix of
+independent cells — the same embarrassing parallelism Prophet exploits for
+speculative threads.  This module enumerates those cells as picklable
+:class:`Cell` descriptors (workload *name* plus frozen configs; artifacts
+are rebuilt or cache-loaded inside each worker), computes them on a
+``ProcessPoolExecutor``, and merges the results back into the parent
+:class:`~repro.harness.runner.ExperimentRunner`'s memo **in submission
+order**, so figures and tables render byte-identically regardless of job
+count.  ``jobs=1`` bypasses the pool entirely and is the exact serial path.
+
+Workers share the parent's :class:`~repro.harness.diskcache.DiskCache`
+(when one is attached), so artifact compilation happens at most once per
+workload across the whole fleet — and not at all on a warm cache.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..compiler.slicer import SlicerConfig
+from ..core.configs import (BASELINE, BASELINE_NEXTLINE, BASELINE_STRIDE,
+                            PAPER_CONFIGS, SPEAR_128, SPEAR_256, SPEAR_SF_128,
+                            SPEAR_SF_256, MachineConfig)
+from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig
+from .diskcache import DiskCache
+from .runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One picklable unit of work: simulate ``workload`` under ``config``."""
+
+    workload: str
+    config: MachineConfig
+    latencies: LatencyConfig | None = None
+
+
+#: Config columns of each experiment's matrix (workload rows come from the
+#: experiment's default list or the user's subset).
+EXPERIMENT_CONFIGS: dict[str, list[MachineConfig]] = {
+    "figure6": [BASELINE, SPEAR_128, SPEAR_256],
+    "figure7": [BASELINE, SPEAR_128, SPEAR_256, SPEAR_SF_128, SPEAR_SF_256],
+    "figure8": [BASELINE, SPEAR_128, SPEAR_256],
+    "figure9": [BASELINE, SPEAR_128, SPEAR_256],
+    "table3": [SPEAR_128, SPEAR_256],
+    "motivation": [BASELINE, BASELINE_NEXTLINE, BASELINE_STRIDE, SPEAR_128],
+    "compare": list(PAPER_CONFIGS.values()),
+}
+
+
+def cells_for(experiment: str,
+              workloads: list[str] | None = None) -> list[Cell]:
+    """Enumerate the cell matrix of one experiment, workload-major (so
+    chunked submission keeps one workload's artifacts in one worker)."""
+    from .experiments import EVAL_WORKLOADS, FIG9_WORKLOADS  # no cycle: experiments→runner only
+    configs = EXPERIMENT_CONFIGS[experiment]
+    if experiment == "figure9":
+        names = workloads or FIG9_WORKLOADS
+        return [Cell(n, c, lat)
+                for n in names for lat in FIG9_LATENCIES for c in configs]
+    if experiment == "motivation":
+        from .experiments import IRREGULAR_WORKLOADS, REGULAR_WORKLOADS
+        names = workloads or REGULAR_WORKLOADS + IRREGULAR_WORKLOADS
+    else:
+        names = workloads or EVAL_WORKLOADS
+    return [Cell(n, c) for n in names for c in configs]
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+# -- worker side -----------------------------------------------------------
+
+_WORKER_RUNNER: ExperimentRunner | None = None
+
+
+def _init_worker(slicer_config: SlicerConfig, scale: float,
+                 cache_dir: str | None) -> None:
+    global _WORKER_RUNNER
+    cache = DiskCache(cache_dir) if cache_dir is not None else None
+    _WORKER_RUNNER = ExperimentRunner(slicer_config=slicer_config,
+                                      instruction_scale=scale, cache=cache)
+
+
+def _run_cell(cell: Cell):
+    return _WORKER_RUNNER.run(cell.workload, cell.config, cell.latencies)
+
+
+def _build_artifact(name: str):
+    return _WORKER_RUNNER.artifacts(name)
+
+
+# -- parent side -----------------------------------------------------------
+
+def run_cells(runner: ExperimentRunner, cells: list[Cell],
+              jobs: int | None = None) -> ExperimentRunner:
+    """Compute ``cells`` with ``jobs`` workers, seeding ``runner``'s memo.
+
+    Deterministic: cells are deduplicated preserving order and results are
+    merged in that same order, and each cell's simulation is itself
+    deterministic — so downstream rendering is byte-identical for any job
+    count.  ``jobs=1`` (or a single cell) runs in-process on the exact
+    serial path.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    unique = [c for c in dict.fromkeys(cells)
+              if (c.workload,
+                  runner.normalize_config(c.config, c.latencies))
+              not in runner._results]
+    if not unique:
+        return runner
+    if jobs <= 1 or len(unique) == 1:
+        for cell in unique:
+            runner.run(cell.workload, cell.config, cell.latencies)
+        return runner
+    workers = min(jobs, len(unique))
+    # Chunking keeps consecutive (same-workload) cells in one worker so its
+    # in-memory artifact memo is reused even without a disk cache.
+    chunksize = max(1, len(unique) // (workers * 4))
+    with _pool(runner, workers) as pool:
+        results = list(pool.map(_run_cell, unique, chunksize=chunksize))
+    for cell, result in zip(unique, results):
+        runner.seed_result(cell.workload, cell.config, cell.latencies, result)
+    return runner
+
+
+def build_artifacts(runner: ExperimentRunner, names: list[str],
+                    jobs: int | None = None) -> ExperimentRunner:
+    """Build several workloads' artifacts in parallel (table 1/3 prep)."""
+    jobs = default_jobs() if jobs is None else jobs
+    missing = [n for n in dict.fromkeys(names) if n not in runner._artifacts]
+    if not missing:
+        return runner
+    if jobs <= 1 or len(missing) == 1:
+        for name in missing:
+            runner.artifacts(name)
+        return runner
+    with _pool(runner, min(jobs, len(missing))) as pool:
+        arts = list(pool.map(_build_artifact, missing))
+    for name, art in zip(missing, arts):
+        runner._artifacts[name] = art
+    return runner
+
+
+def _pool(runner: ExperimentRunner, workers: int) -> ProcessPoolExecutor:
+    cache_dir = str(runner.cache.root) if runner.cache is not None else None
+    return ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker,
+        initargs=(runner.slicer_config, runner.instruction_scale, cache_dir))

@@ -9,11 +9,15 @@ Ties the whole system together for the evaluation: for each workload it
 
 Traces, compiled binaries and results are memoized so a figure that needs
 the same (workload, config) pair as another figure pays nothing extra.
+With a :class:`~repro.harness.diskcache.DiskCache` attached the memo
+extends across processes and invocations: artifacts and results are read
+through from disk and written through on build, so a warm rerun of any
+figure pays neither compilation, tracing nor simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..compiler.driver import CompileReport, compile_spear
 from ..compiler.slicer import SlicerConfig
@@ -25,6 +29,7 @@ from ..memory.hierarchy import LatencyConfig, MemoryHierarchy
 from ..pipeline.smt import TimingSimulator
 from ..pipeline.stats import PipelineResult
 from ..workloads.base import Workload, get_workload
+from .diskcache import DiskCache
 
 
 @dataclass
@@ -44,20 +49,56 @@ class ExperimentRunner:
     """Caching façade over the compile → trace → simulate pipeline."""
 
     def __init__(self, *, slicer_config: SlicerConfig | None = None,
-                 instruction_scale: float = 1.0):
+                 instruction_scale: float = 1.0,
+                 cache: DiskCache | None = None):
         """``instruction_scale`` scales every workload's instruction budget
-        (useful to shrink CI runs or enlarge final ones)."""
+        (useful to shrink CI runs or enlarge final ones).  ``cache`` is an
+        optional persistent artifact cache shared across processes."""
         self.slicer_config = slicer_config or SlicerConfig()
         self.instruction_scale = instruction_scale
+        self.cache = cache
         self._artifacts: dict[str, WorkloadArtifacts] = {}
         self._results: dict[tuple, PipelineResult] = {}
+        #: artifact builds actually executed (cache hits don't count)
+        self.builds = 0
+        #: timing simulations actually executed (memo/cache hits don't count)
+        self.simulations = 0
+
+    # -- cache keys -----------------------------------------------------------
+
+    def _artifact_payload(self, name: str) -> dict:
+        return {"workload": name,
+                "scale": self.instruction_scale,
+                "slicer": asdict(self.slicer_config)}
+
+    def _result_payload(self, name: str, config: MachineConfig) -> dict:
+        payload = self._artifact_payload(name)
+        payload["config"] = asdict(config)
+        return payload
+
+    @staticmethod
+    def normalize_config(config: MachineConfig,
+                         latencies: LatencyConfig | None) -> MachineConfig:
+        """Fold a latency override into the config — without allocating a
+        fresh (but equal) ``MachineConfig`` when the override is a no-op,
+        so memo keys dedupe across e.g. figure 9's latency sweep."""
+        if latencies is not None and latencies != config.latencies:
+            config = config.with_latencies(latencies)
+        return config
 
     # -- artifact construction ------------------------------------------------
 
     def artifacts(self, name: str) -> WorkloadArtifacts:
         art = self._artifacts.get(name)
         if art is None:
-            art = self._build(name)
+            if self.cache is not None:
+                art = self.cache.get("artifacts", self._artifact_payload(name))
+            if art is None:
+                art = self._build(name)
+                self.builds += 1
+                if self.cache is not None:
+                    self.cache.put("artifacts", self._artifact_payload(name),
+                                   art)
             self._artifacts[name] = art
         return art
 
@@ -86,18 +127,32 @@ class ExperimentRunner:
     def run(self, name: str, config: MachineConfig,
             latencies: LatencyConfig | None = None) -> PipelineResult:
         """Simulate one workload under one machine configuration."""
-        if latencies is not None:
-            config = config.with_latencies(latencies)
+        config = self.normalize_config(config, latencies)
         key = (name, config)
         result = self._results.get(key)
         if result is None:
-            art = self.artifacts(name)
-            memory = MemoryHierarchy(latencies=config.latencies)
-            sim = TimingSimulator(art.eval_trace, config, art.binary.table,
-                                  memory, warmup=art.warmup_trace)
-            result = sim.run()
+            if self.cache is not None:
+                result = self.cache.get("results",
+                                        self._result_payload(name, config))
+            if result is None:
+                art = self.artifacts(name)
+                memory = MemoryHierarchy(latencies=config.latencies)
+                sim = TimingSimulator(art.eval_trace, config, art.binary.table,
+                                      memory, warmup=art.warmup_trace)
+                result = sim.run()
+                self.simulations += 1
+                if self.cache is not None:
+                    self.cache.put("results",
+                                   self._result_payload(name, config), result)
             self._results[key] = result
         return result
+
+    def seed_result(self, name: str, config: MachineConfig,
+                    latencies: LatencyConfig | None,
+                    result: PipelineResult) -> None:
+        """Adopt a result computed elsewhere (the parallel engine's merge)."""
+        config = self.normalize_config(config, latencies)
+        self._results[(name, config)] = result
 
     def speedup(self, name: str, config: MachineConfig,
                 baseline: MachineConfig,

@@ -83,6 +83,9 @@ class MemoryHierarchy:
     cycle; pass 0 if timing is irrelevant (e.g. profiling).
     """
 
+    __slots__ = ("l1", "l2", "latencies", "_pending", "thread_stats",
+                 "prefetch_fills")
+
     def __init__(self, *, l1_config: CacheConfig = L1D_CONFIG,
                  l2_config: CacheConfig = L2_CONFIG,
                  latencies: LatencyConfig = LatencyConfig(),

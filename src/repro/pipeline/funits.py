@@ -45,6 +45,8 @@ FU_OF_CLASS: dict[int, int] = {
 class FUPool:
     """One thread-visible set of functional units."""
 
+    __slots__ = ("config", "_capacity", "_avail", "conflicts")
+
     def __init__(self, config: FUConfig):
         self.config = config
         self._capacity = [config.int_alu, config.int_muldiv, config.fp_alu,
@@ -54,8 +56,8 @@ class FUPool:
         self.conflicts = [0] * FUKind.N_KINDS
 
     def begin_cycle(self) -> None:
-        """Refresh per-cycle availability."""
-        self._avail = list(self._capacity)
+        """Refresh per-cycle availability (in place: no per-cycle list)."""
+        self._avail[:] = self._capacity
 
     def take(self, op_class: int) -> bool:
         """Try to claim a unit for this op class this cycle."""

@@ -43,6 +43,8 @@ class InstructionFetchQueue:
     lazily.
     """
 
+    __slots__ = ("size", "_slots", "marked_queue", "_next_seq")
+
     def __init__(self, size: int):
         if size < 1:
             raise ValueError("IFQ size must be positive")
@@ -78,7 +80,7 @@ class InstructionFetchQueue:
     def push(self, trace_idx: int, *, marked: bool = False,
              is_dload: bool = False) -> IFQSlot:
         """Insert a pre-decoded instruction at the tail."""
-        if self.is_full:
+        if len(self._slots) >= self.size:
             raise OverflowError("IFQ overflow — caller must check is_full")
         slot = IFQSlot(trace_idx, self._next_seq, marked, is_dload)
         self._next_seq += 1

@@ -37,7 +37,7 @@ from ..memory.hierarchy import MemoryHierarchy
 from ..memory.prefetcher import make_prefetcher
 from .dyninst import DynInstr, MAIN_THREAD, P_THREAD
 from .funits import FUPool
-from .ifq import InstructionFetchQueue
+from .ifq import IFQSlot, InstructionFetchQueue
 from .stats import PipelineResult, PipelineStats
 
 # Pre-execution mode states.
@@ -46,6 +46,9 @@ _IDLE, _DRAIN, _COPY, _ACTIVE = range(4)
 
 class TimingSimulator:
     """One run of one trace through one machine configuration."""
+
+    # No __slots__ here: one instance exists per run (no allocation win)
+    # and tests monkeypatch bound methods on instances.
 
     def __init__(self, trace: Trace, config: MachineConfig,
                  table: PThreadTable | None = None,
@@ -119,31 +122,216 @@ class TimingSimulator:
         self._cycle = 0
         self._committed = 0
 
+        #: ``MachineConfig.trigger_occupancy`` is a derived property; it is
+        #: consulted on every fetch group, so compute it once.
+        self._trigger_occ = config.trigger_occupancy
+
+        # Trace-derived vectors, computed once per run instead of touching
+        # TraceEntry attributes and pc sets per fetched instruction.
+        entries = trace.entries
+        self._entries = entries
+        n = len(entries)
+        marked = bytearray(n)
+        dloads = bytearray(n)
+        marked_pcs = self.table.marked_pcs
+        dload_pcs = self.table.dload_pcs
+        if marked_pcs or dload_pcs:
+            for i, e in enumerate(entries):
+                pc = e.pc
+                if pc in marked_pcs:
+                    marked[i] = 1
+                if pc in dload_pcs:
+                    dloads[i] = 1
+        self._marked_flags = marked
+        self._dload_flags = dloads
+
     # ------------------------------------------------------------------
     # Top-level loop
     # ------------------------------------------------------------------
 
     def run(self) -> PipelineResult:
-        n = len(self.trace)
+        # The per-cycle loop dominates wall clock; everything invariant is
+        # hoisted into locals, the rare phases (complete / commit / mode
+        # tick / issue) are only dispatched when their guard says they have
+        # work, and the every-cycle phases (decode, fetch) are inlined —
+        # semantics are identical to calling each phase unconditionally.
+        n = len(self._entries)
         cfg = self.config
         stats = self.stats
+        sstats = stats.spear
+        max_cycles = cfg.max_cycles
+        decode_width = cfg.decode_width
+        fetch_width = cfg.fetch_width
+        ruu_size = cfg.ruu_size
+        wp_mode = cfg.wrong_path
+        events = self._events
+        rob = self._main_rob
+        ifq = self.ifq
+        ifq_slots = ifq._slots
+        ifq_size = ifq.size
+        marked_queue = ifq.marked_queue
+        spear = cfg.spear_enabled
+        trigger_occ = self._trigger_occ
+        entries = self._entries
+        marked_flags = self._marked_flags
+        dload_flags = self._dload_flags
+        last_writer = self._last_writer
+        store_map = self._store_map
+        main_ready = self._main_ready
+        predict_and_update = self.predictor.predict_and_update
+        ifq_occ_sum = 0
+        ruu_occ_sum = 0
+        mode_cycles = 0
+        decoded_total = 0
+        fetched_total = 0
         while self._committed < n:
-            if self._cycle >= cfg.max_cycles:
+            cycle = self._cycle
+            if cycle >= max_cycles:
                 raise RuntimeError(
                     f"{cfg.name}: exceeded max_cycles={cfg.max_cycles} "
                     f"({self._committed}/{n} committed) — likely a deadlock")
-            self._complete()
-            self._commit()
-            self._spear_mode_tick()
-            self._issue()
-            extracted = self._extract() if self._mode == _ACTIVE else 0
-            self._decode(extracted)
-            self._fetch()
-            stats.ifq_occupancy_sum += self.ifq.occupancy
-            stats.ruu_occupancy_sum += len(self._main_rob)
+            finished = events.pop(cycle, None)
+            if finished is not None:
+                self._complete(finished)
+            if rob and rob[0].done:
+                self._commit()
+            mode = self._mode
+            if mode != _IDLE:
+                self._spear_mode_tick()
+                mode = self._mode
+            elif spear and marked_queue and len(ifq_slots) >= trigger_occ:
+                self._try_retrigger()
+                mode = self._mode
+            if self._pt_ready or main_ready:
+                self._issue()
+            extracted = self._extract() if mode == _ACTIVE else 0
+
+            # ---- decode / rename (inlined _decode) -----------------------
+            if ifq_slots:
+                budget = decode_width - extracted
+                barrier_seq = self._barrier_seq
+                next_seq = self._next_seq
+                while budget > 0:
+                    if not ifq_slots:
+                        stats.decode_stall_empty_ifq += 1
+                        break
+                    if len(rob) >= ruu_size:
+                        stats.decode_stall_ruu_full += 1
+                        break
+                    head = ifq_slots[0]
+                    if barrier_seq >= 0 and head.seq > barrier_seq:
+                        # Entries past an unresolved mispredicted branch are
+                        # speculative wrong-path content: not decodable.
+                        break
+                    if head.trace_idx < 0:
+                        # Wrong-path region: bubbles sit in the IFQ (keeping
+                        # the occupancy the trigger logic sees realistic)
+                        # until the branch resolves and flushes them.
+                        break
+                    slot = ifq_slots.popleft()
+                    # Main thread caught up with an untriggered or still-
+                    # pending pre-execution target: pre-executing it would
+                    # be pointless.
+                    if (self._mode != _IDLE and not self._trigger_extracted
+                            and slot.trace_idx == self._trigger_trace_idx):
+                        sstats.modes_aborted += 1
+                        self._end_mode()
+                    entry = entries[slot.trace_idx]
+                    instr = DynInstr(next_seq, MAIN_THREAD, slot.trace_idx,
+                                     entry, cycle)
+                    next_seq += 1
+                    for r in entry.srcs:
+                        prod = last_writer.get(r)
+                        if prod is not None and not prod.done:
+                            instr.deps += 1
+                            prod.consumers.append(instr)
+                    if entry.is_load:
+                        st = store_map.get(entry.addr >> 3)
+                        if st is not None and not st.done:
+                            instr.deps += 1
+                            st.consumers.append(instr)
+                    if entry.dst >= 0:
+                        last_writer[entry.dst] = instr
+                    if entry.is_store:
+                        store_map[entry.addr >> 3] = instr
+                    rob.append(instr)
+                    decoded_total += 1
+                    if instr.deps == 0:
+                        main_ready.append(instr)
+                    budget -= 1
+                self._next_seq = next_seq
+            elif extracted < decode_width:
+                stats.decode_stall_empty_ifq += 1
+
+            # ---- fetch / pre-decode (inlined _fetch) ---------------------
+            if self._await_branch_idx >= 0:
+                stats.fetch_stall_mispredict += 1
+                if wp_mode == "bubbles":
+                    for _ in range(fetch_width):
+                        if len(ifq_slots) >= ifq_size:
+                            break
+                        ifq.push_bubble()
+                        stats.wrong_path_fetched += 1
+                elif wp_mode == "reconverge":
+                    self._fetch_wrong_path_reconvergent()
+            elif cycle < self._fetch_resume_cycle:
+                stats.fetch_stall_mispredict += 1
+            else:
+                fetched = 0
+                idx = self._fetch_idx
+                seq = ifq._next_seq
+                while fetched < fetch_width and idx < n:
+                    if len(ifq_slots) >= ifq_size:
+                        stats.fetch_stall_ifq_full += 1
+                        break
+                    entry = entries[idx]
+                    is_dload = dload_flags[idx]
+                    slot = IFQSlot(idx, seq, marked_flags[idx] != 0,
+                                   is_dload != 0)
+                    seq += 1
+                    ifq_slots.append(slot)
+                    if slot.marked:
+                        marked_queue.append(slot)
+                    idx += 1
+                    fetched += 1
+
+                    if is_dload:
+                        if self._mode != _IDLE:
+                            sstats.triggers_blocked += 1
+                        elif len(ifq_slots) >= trigger_occ:
+                            ifq._next_seq = seq
+                            self._begin_trigger(idx - 1, slot.seq)
+                        else:
+                            sstats.triggers_suppressed += 1
+
+                    if entry.is_cond:
+                        stats.cond_branches += 1
+                        correct = predict_and_update(entry.pc, entry.taken)
+                        if not correct:
+                            stats.mispredicts += 1
+                            self._await_branch_idx = idx - 1
+                            if wp_mode == "reconverge":
+                                self._barrier_seq = slot.seq
+                                self._wrong_path_real = 0
+                            break
+                        if entry.taken:
+                            break  # redirect: taken branch ends fetch group
+                    elif entry.is_branch:
+                        break  # unconditional control flow ends fetch group
+                ifq._next_seq = seq
+                self._fetch_idx = idx
+                fetched_total += fetched
+
+            ifq_occ_sum += len(ifq_slots)
+            ruu_occ_sum += len(rob)
             if self._mode != _IDLE:
-                stats.spear.cycles_in_mode += 1
-            self._cycle += 1
+                mode_cycles += 1
+            self._cycle = cycle + 1
+        stats.ifq_occupancy_sum += ifq_occ_sum
+        stats.ruu_occupancy_sum += ruu_occ_sum
+        stats.decoded += decoded_total
+        stats.fetched += fetched_total
+        sstats.cycles_in_mode += mode_cycles
         stats.cycles = self._cycle
         stats.committed = self._committed
         return PipelineResult(
@@ -159,10 +347,9 @@ class TimingSimulator:
     # Completion / wakeup
     # ------------------------------------------------------------------
 
-    def _complete(self) -> None:
-        finished = self._events.pop(self._cycle, None)
-        if not finished:
-            return
+    def _complete(self, finished: list[DynInstr]) -> None:
+        """Process the instructions whose completion event is this cycle
+        (the run loop pops the event list and skips the call when empty)."""
         main_ready = self._main_ready
         pt_ready = self._pt_ready
         for instr in finished:
@@ -222,7 +409,7 @@ class TimingSimulator:
             # shallow) wake up once occupancy reaches the threshold — the
             # PD keeps seeing their indicator bits in the IFQ.
             if (self.config.spear_enabled and self.ifq.marked_queue
-                    and self.ifq.occupancy >= self.config.trigger_occupancy):
+                    and self.ifq.occupancy >= self._trigger_occ):
                 self._try_retrigger()
         elif self._mode == _DRAIN:
             if self._drain_satisfied():
@@ -266,7 +453,7 @@ class TimingSimulator:
 
     def _begin_trigger(self, trace_idx: int, slot_seq: int) -> None:
         """Enter pre-execution mode for the d-load at ``trace_idx``."""
-        pc = self.trace[trace_idx].pc
+        pc = self._entries[trace_idx].pc
         pthread = self.table[pc]
         self._mode = _DRAIN
         self._trigger_trace_idx = trace_idx
@@ -295,7 +482,7 @@ class TimingSimulator:
         a completed p-thread hands off to the next dormant d-load directly,
         the Collins-style chaining the paper's related work describes."""
         if (not self.config.chaining
-                and self.ifq.occupancy < self.config.trigger_occupancy):
+                and self.ifq.occupancy < self._trigger_occ):
             return
         self.ifq.prune_marked()
         # Scan from the tail: the *newest* dormant d-load plays the role of
@@ -311,15 +498,26 @@ class TimingSimulator:
     # ------------------------------------------------------------------
 
     def _extract(self) -> int:
-        if self._trigger_extracted:
+        if self._trigger_extracted or not self.ifq.marked_queue:
             return 0
         cfg = self.config
         sstats = self.stats.spear
         budget = cfg.extract_width
         extracted = 0
         ifq = self.ifq
+        ifq_slots = ifq._slots
+        mq = ifq.marked_queue
         while budget > 0:
-            slot = ifq.next_marked(self._pe_seq)
+            # Inlined ``ifq.next_marked`` (prune + first-marked scan).
+            head_seq = ifq_slots[0].seq if ifq_slots else ifq._next_seq
+            while mq and (mq[0].seq < head_seq or not mq[0].marked):
+                mq.popleft()
+            slot = None
+            pe_seq = self._pe_seq
+            for s in mq:
+                if s.seq >= pe_seq and s.marked:
+                    slot = s
+                    break
             if slot is None:
                 break
             if self._pt_inflight >= cfg.pthread_ruu_size:
@@ -345,7 +543,7 @@ class TimingSimulator:
         return extracted
 
     def _spawn_pthread_instr(self, trace_idx: int) -> None:
-        entry = self.trace[trace_idx]
+        entry = self._entries[trace_idx]
         instr = DynInstr(self._next_seq, P_THREAD, trace_idx, entry,
                          self._cycle)
         self._next_seq += 1
@@ -367,69 +565,6 @@ class TimingSimulator:
             sstats.pthread_loads += 1
         if instr.deps == 0:
             self._pt_ready.append(instr)
-
-    # ------------------------------------------------------------------
-    # Decode / rename
-    # ------------------------------------------------------------------
-
-    def _decode(self, extracted: int) -> None:
-        cfg = self.config
-        stats = self.stats
-        budget = cfg.decode_width - extracted
-        ifq = self.ifq
-        rob = self._main_rob
-        last_writer = self._last_writer
-        store_map = self._store_map
-        trace = self.trace
-        while budget > 0:
-            if ifq.is_empty:
-                stats.decode_stall_empty_ifq += 1
-                break
-            if len(rob) >= cfg.ruu_size:
-                stats.decode_stall_ruu_full += 1
-                break
-            head = ifq.peek_head()
-            if (head is not None and self._barrier_seq >= 0
-                    and head.seq > self._barrier_seq):
-                # Entries past an unresolved mispredicted branch are
-                # speculative wrong-path content: not decodable.
-                break
-            if head is not None and head.trace_idx < 0:
-                # Wrong-path region: nothing younger than the mispredicted
-                # branch is real work.  Bubbles sit in the IFQ (keeping the
-                # occupancy the trigger logic sees realistic) until the
-                # branch resolves and flushes them.
-                break
-            slot = ifq.pop_head()
-            # Main thread caught up with an untriggered or still-pending
-            # pre-execution target: pre-executing it would be pointless.
-            if (self._mode != _IDLE and not self._trigger_extracted
-                    and slot.trace_idx == self._trigger_trace_idx):
-                stats.spear.modes_aborted += 1
-                self._end_mode()
-            entry = trace[slot.trace_idx]
-            instr = DynInstr(self._next_seq, MAIN_THREAD, slot.trace_idx,
-                             entry, self._cycle)
-            self._next_seq += 1
-            for r in entry.srcs:
-                prod = last_writer.get(r)
-                if prod is not None and not prod.done:
-                    instr.deps += 1
-                    prod.consumers.append(instr)
-            if entry.is_load:
-                st = store_map.get(entry.addr >> 3)
-                if st is not None and not st.done:
-                    instr.deps += 1
-                    st.consumers.append(instr)
-            if entry.dst >= 0:
-                last_writer[entry.dst] = instr
-            if entry.is_store:
-                store_map[entry.addr >> 3] = instr
-            rob.append(instr)
-            stats.decoded += 1
-            if instr.deps == 0:
-                self._main_ready.append(instr)
-            budget -= 1
 
     # ------------------------------------------------------------------
     # Issue / execute
@@ -471,6 +606,9 @@ class TimingSimulator:
         events = self._events
         cycle = self._cycle
         mem = self.mem
+        stats = self.stats
+        take = pool.take
+        prefetch_active = self._prefetch_active
         for idx, instr in enumerate(ready):
             if issued >= budget:
                 leftovers.extend(ready[idx:])
@@ -480,16 +618,16 @@ class TimingSimulator:
                 leftovers.append(instr)
                 continue
             e = instr.entry
-            if not pool.take(e.op_class):
-                self.stats.issue_fu_conflicts += 1
+            if not take(e.op_class):
+                stats.issue_fu_conflicts += 1
                 leftovers.append(instr)
                 continue
             if e.is_load:
                 lat = mem.access(e.addr, thread=instr.thread, now=cycle)
-                comp = cycle + max(1, lat)
-                if self._prefetch_active and instr.thread == MAIN_THREAD:
+                comp = cycle + (lat if lat > 1 else 1)
+                if prefetch_active and instr.thread == MAIN_THREAD:
                     for target in self.prefetcher.observe(
-                            e.pc, e.addr, lat > self.mem.latencies.l1):
+                            e.pc, e.addr, lat > mem.latencies.l1):
                         mem.prefetch(target, now=cycle)
             elif e.is_store:
                 mem.access(e.addr, is_write=True, thread=instr.thread,
@@ -499,80 +637,19 @@ class TimingSimulator:
                 comp = cycle + OP_LATENCY[e.op_class]
             instr.issued = True
             instr.completion_cycle = comp
-            events.setdefault(comp, []).append(instr)
+            lst = events.get(comp)
+            if lst is None:
+                events[comp] = [instr]
+            else:
+                lst.append(instr)
             issued += 1
-            self.stats.issued += 1
         ready[:] = leftovers
+        stats.issued += issued
         return issued
 
     # ------------------------------------------------------------------
     # Fetch / pre-decode
     # ------------------------------------------------------------------
-
-    def _fetch(self) -> None:
-        stats = self.stats
-        if self._await_branch_idx >= 0:
-            stats.fetch_stall_mispredict += 1
-            mode = self.config.wrong_path
-            if mode == "bubbles":
-                ifq = self.ifq
-                for _ in range(self.config.fetch_width):
-                    if ifq.is_full:
-                        break
-                    ifq.push_bubble()
-                    stats.wrong_path_fetched += 1
-            elif mode == "reconverge":
-                self._fetch_wrong_path_reconvergent()
-            return
-        if self._cycle < self._fetch_resume_cycle:
-            stats.fetch_stall_mispredict += 1
-            return
-        cfg = self.config
-        ifq = self.ifq
-        trace = self.trace
-        n = len(trace)
-        spear = cfg.spear_enabled
-        marked_pcs = self.table.marked_pcs
-        dload_pcs = self.table.dload_pcs
-        predictor = self.predictor
-        fetched = 0
-        while fetched < cfg.fetch_width and self._fetch_idx < n:
-            if ifq.is_full:
-                stats.fetch_stall_ifq_full += 1
-                break
-            idx = self._fetch_idx
-            entry = trace[idx]
-            pc = entry.pc
-            marked = spear and pc in marked_pcs
-            is_dload = spear and pc in dload_pcs
-            slot = ifq.push(idx, marked=marked, is_dload=is_dload)
-            self._fetch_idx += 1
-            fetched += 1
-            stats.fetched += 1
-
-            if spear and is_dload:
-                sstats = stats.spear
-                if self._mode != _IDLE:
-                    sstats.triggers_blocked += 1
-                elif ifq.occupancy >= cfg.trigger_occupancy:
-                    self._begin_trigger(idx, slot.seq)
-                else:
-                    sstats.triggers_suppressed += 1
-
-            if entry.is_cond:
-                stats.cond_branches += 1
-                correct = predictor.predict_and_update(pc, entry.taken)
-                if not correct:
-                    stats.mispredicts += 1
-                    self._await_branch_idx = idx
-                    if cfg.wrong_path == "reconverge":
-                        self._barrier_seq = slot.seq
-                        self._wrong_path_real = 0
-                    break
-                if entry.taken:
-                    break  # redirect: taken branches end the fetch group
-            elif entry.is_branch:
-                break  # unconditional control flow ends the fetch group
 
     def _fetch_wrong_path_reconvergent(self) -> None:
         """Wrong-path fetch in the reconvergent model.
@@ -590,15 +667,16 @@ class TimingSimulator:
         """
         cfg = self.config
         ifq = self.ifq
+        ifq_slots = ifq._slots
+        ifq_size = ifq.size
         stats = self.stats
-        trace = self.trace
-        n = len(trace)
-        spear = cfg.spear_enabled
-        marked_pcs = self.table.marked_pcs
-        dload_pcs = self.table.dload_pcs
+        entries = self._entries
+        n = len(entries)
+        marked_flags = self._marked_flags
+        dload_flags = self._dload_flags
         fetched = 0
         while fetched < cfg.fetch_width and self._fetch_idx < n:
-            if ifq.is_full:
+            if len(ifq_slots) >= ifq_size:
                 break
             if self._wrong_path_real >= cfg.reconverge_window:
                 # Past plausible reconvergence: the stream is genuinely
@@ -608,20 +686,19 @@ class TimingSimulator:
                 stats.wrong_path_fetched += 1
                 continue
             idx = self._fetch_idx
-            entry = trace[idx]
-            pc = entry.pc
-            marked = spear and pc in marked_pcs
-            is_dload = spear and pc in dload_pcs
-            slot = ifq.push(idx, marked=marked, is_dload=is_dload)
+            entry = entries[idx]
+            is_dload = dload_flags[idx]
+            slot = ifq.push(idx, marked=marked_flags[idx] != 0,
+                            is_dload=is_dload != 0)
             self._fetch_idx += 1
             fetched += 1
             stats.wrong_path_fetched += 1
             self._wrong_path_real += 1
-            if spear and is_dload:
+            if is_dload:
                 sstats = stats.spear
                 if self._mode != _IDLE:
                     sstats.triggers_blocked += 1
-                elif ifq.occupancy >= cfg.trigger_occupancy:
+                elif len(ifq_slots) >= self._trigger_occ:
                     self._begin_trigger(idx, slot.seq)
                 else:
                     sstats.triggers_suppressed += 1

@@ -16,6 +16,7 @@ the same variant twice yields byte-identical programs.
 
 from __future__ import annotations
 
+import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -59,7 +60,11 @@ class Workload(ABC):
         """Build the program for one input variant."""
         if variant not in self._SEEDS:
             raise ValueError(f"unknown variant {variant!r}")
-        rng = np.random.default_rng(self._SEEDS[variant] ^ hash(self.name) % (1 << 31))
+        # crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), which would make parallel workers and cached
+        # artifacts disagree with a serial run.
+        rng = np.random.default_rng(
+            self._SEEDS[variant] ^ zlib.crc32(self.name.encode()))
         builder = ProgramBuilder(self.name, mem_bytes=self.mem_bytes)
         self.build(builder, rng, variant)
         builder.halt()

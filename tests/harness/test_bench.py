@@ -1,0 +1,35 @@
+"""``repro bench --quick`` smoke test (opt-in: slow for tier-1).
+
+Run with ``RUN_BENCH_TESTS=1 pytest -m bench`` — the tier-1 suite skips it.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import run_bench
+
+
+@pytest.mark.bench
+def test_quick_bench_smoke(tmp_path):
+    out = tmp_path / "bench.json"
+    report = run_bench(quick=True, jobs=1, cache_dir=tmp_path / "cache",
+                       workloads=["pointer", "update"], output=out)
+
+    f6 = report["figure6"]
+    assert f6["identical_output"], "cold and warm tables must match"
+    assert f6["warm_builds"] == 0 and f6["warm_simulations"] == 0, \
+        "warm pass repaid compile/trace/simulate work"
+    assert f6["cold_simulations"] == f6["cells"]
+    assert report["single_cell"]["instr_per_s"] > 0
+
+    on_disk = json.loads(out.read_text())
+    assert on_disk["figure6"]["table_sha256"] == f6["table_sha256"]
+
+
+@pytest.mark.bench
+def test_quick_bench_reference_ratio(tmp_path):
+    ref = {"single_cell": {"cycles_per_s": 1.0}}
+    report = run_bench(quick=True, jobs=1, cache_dir=tmp_path / "cache",
+                       workloads=["pointer"], reference=ref)
+    assert report["vs_reference"]["simulate_speedup"] > 0

@@ -1,0 +1,139 @@
+"""DiskCache: keys, hit/miss accounting, invalidation, corruption recovery."""
+
+import pickle
+
+import pytest
+
+from repro.compiler import SlicerConfig
+from repro.core import BASELINE, SPEAR_128
+from repro.harness import DiskCache, ExperimentRunner, default_cache_dir
+from repro.harness import diskcache as diskcache_mod
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache")
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        payload = {"workload": "pointer", "scale": 1.0}
+        assert cache.get("artifacts", payload) is None
+        cache.put("artifacts", payload, {"value": 42})
+        assert cache.get("artifacts", payload) == {"value": 42}
+        counters = cache.counters["artifacts"]
+        assert counters.misses == 1
+        assert counters.hits == 1
+        assert counters.stores == 1
+
+    def test_kind_separates_namespaces(self, cache):
+        payload = {"x": 1}
+        cache.put("artifacts", payload, "a")
+        assert cache.get("results", payload) is None
+
+    def test_env_override_controls_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_clear_removes_entries(self, cache):
+        cache.put("artifacts", {"x": 1}, "a")
+        cache.clear()
+        assert cache.get("artifacts", {"x": 1}) is None
+
+
+class TestInvalidation:
+    def test_schema_bump_invalidates(self, cache, monkeypatch):
+        payload = {"workload": "pointer"}
+        cache.put("artifacts", payload, "old")
+        monkeypatch.setattr(cache, "schema_version",
+                            cache.schema_version + 1)
+        assert cache.get("artifacts", payload) is None
+
+    def test_slicer_config_change_invalidates(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        r1 = ExperimentRunner(slicer_config=SlicerConfig(),
+                              instruction_scale=0.05, cache=cache)
+        k1 = cache.key_for("artifacts", r1._artifact_payload("pointer"))
+        r2 = ExperimentRunner(
+            slicer_config=SlicerConfig(max_slice_size=3),
+            instruction_scale=0.05, cache=cache)
+        k2 = cache.key_for("artifacts", r2._artifact_payload("pointer"))
+        assert k1 != k2
+
+    def test_scale_change_invalidates(self, cache):
+        r1 = ExperimentRunner(instruction_scale=0.05, cache=cache)
+        r2 = ExperimentRunner(instruction_scale=0.10, cache=cache)
+        assert (cache.key_for("artifacts", r1._artifact_payload("pointer"))
+                != cache.key_for("artifacts", r2._artifact_payload("pointer")))
+
+    def test_config_in_result_key(self, cache):
+        r = ExperimentRunner(instruction_scale=0.05, cache=cache)
+        assert (cache.key_for("results", r._result_payload("pointer", BASELINE))
+                != cache.key_for("results",
+                                 r._result_payload("pointer", SPEAR_128)))
+
+
+class TestCorruption:
+    def test_truncated_entry_is_miss_not_crash(self, cache):
+        payload = {"x": 1}
+        cache.put("artifacts", payload, list(range(1000)))
+        path = cache.path_for("artifacts",
+                              cache.key_for("artifacts", payload))
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("artifacts", payload) is None
+        assert cache.counters["artifacts"].errors == 1
+
+    def test_garbage_entry_is_miss_not_crash(self, cache):
+        payload = {"x": 2}
+        cache.put("artifacts", payload, "ok")
+        path = cache.path_for("artifacts",
+                              cache.key_for("artifacts", payload))
+        path.write_bytes(b"not a pickle at all")
+        assert cache.get("artifacts", payload) is None
+
+    def test_corrupt_entry_removed(self, cache):
+        payload = {"x": 3}
+        cache.put("artifacts", payload, "ok")
+        path = cache.path_for("artifacts",
+                              cache.key_for("artifacts", payload))
+        path.write_bytes(b"garbage")
+        cache.get("artifacts", payload)
+        assert not path.exists()
+
+
+class TestRunnerIntegration:
+    def test_warm_runner_skips_all_work(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        cold = ExperimentRunner(instruction_scale=0.05, cache=cache)
+        cold.run("pointer", BASELINE)
+        assert cold.builds == 1 and cold.simulations == 1
+
+        warm = ExperimentRunner(instruction_scale=0.05, cache=cache)
+        result = warm.run("pointer", BASELINE)
+        assert warm.builds == 0 and warm.simulations == 0
+        assert result.ipc == cold.run("pointer", BASELINE).ipc
+
+    def test_memo_key_normalizes_noop_latency_override(self, tmp_path):
+        runner = ExperimentRunner(instruction_scale=0.05)
+        a = runner.run("pointer", BASELINE)
+        # Passing the config's own latencies explicitly must not be treated
+        # as a distinct cell (the figure-9 sweep hits this path).
+        b = runner.run("pointer", BASELINE, BASELINE.latencies)
+        assert a is b
+        assert runner.simulations == 1
+
+    def test_cached_payloads_unpickle(self, tmp_path):
+        cache = DiskCache(tmp_path / "c")
+        runner = ExperimentRunner(instruction_scale=0.05, cache=cache)
+        runner.run("pointer", SPEAR_128)
+        key = cache.key_for("results",
+                            runner._result_payload("pointer", SPEAR_128))
+        with open(cache.path_for("results", key), "rb") as fh:
+            result = pickle.load(fh)
+        assert result.workload == "pointer"
+
+
+def test_schema_version_is_stable_constant():
+    # Bumping SCHEMA_VERSION is the documented way to invalidate every
+    # entry; it must exist and be an int.
+    assert isinstance(diskcache_mod.SCHEMA_VERSION, int)

@@ -1,0 +1,76 @@
+"""Parallel experiment engine: cell planning, determinism across job counts."""
+
+import pytest
+
+from repro.core import BASELINE, SPEAR_128, SPEAR_256
+from repro.harness import (Cell, ExperimentRunner, build_artifacts, cells_for,
+                           default_jobs, figure6, run_cells)
+from repro.memory import FIG9_LATENCIES
+
+
+class TestCellPlanning:
+    def test_figure6_matrix(self):
+        cells = cells_for("figure6", ["pointer", "update"])
+        assert len(cells) == 6
+        assert cells[0] == Cell("pointer", BASELINE)
+        names = {c.config.name for c in cells}
+        assert names == {BASELINE.name, SPEAR_128.name, SPEAR_256.name}
+
+    def test_figure9_crosses_latencies(self):
+        cells = cells_for("figure9", ["pointer"])
+        lats = {c.latencies for c in cells if c.latencies is not None}
+        assert set(FIG9_LATENCIES) <= lats
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            cells_for("figure99", ["pointer"])
+
+    def test_cells_are_picklable_descriptors(self):
+        import pickle
+
+        cells = cells_for("figure6", ["pointer"])
+        assert pickle.loads(pickle.dumps(cells)) == cells
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestSerialEquivalence:
+    def test_run_cells_seeds_runner_memo(self):
+        runner = ExperimentRunner(instruction_scale=0.05)
+        cells = cells_for("figure6", ["pointer"])
+        assert run_cells(runner, cells, jobs=1) is runner
+        assert runner.simulations == len(cells)
+        # Seeded results short-circuit later runner.run calls.
+        runner.run("pointer", BASELINE)
+        assert runner.simulations == len(cells)
+
+    def test_duplicate_cells_deduped(self):
+        runner = ExperimentRunner(instruction_scale=0.05)
+        cell = Cell("pointer", BASELINE)
+        run_cells(runner, [cell, cell, cell], jobs=1)
+        assert runner.simulations == 1
+
+    def test_build_artifacts_serial(self):
+        runner = ExperimentRunner(instruction_scale=0.05)
+        build_artifacts(runner, ["pointer"], jobs=1)
+        assert runner.builds == 1
+        build_artifacts(runner, ["pointer"], jobs=1)
+        assert runner.builds == 1
+
+
+class TestJobsDeterminism:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_figure6_identical_across_job_counts(self, jobs):
+        serial = ExperimentRunner(instruction_scale=0.05)
+        run_cells(serial, cells_for("figure6", ["pointer"]), jobs=1)
+        serial_table = figure6(serial, ["pointer"]).table("Figure 6").render()
+
+        fanned = ExperimentRunner(instruction_scale=0.05)
+        run_cells(fanned, cells_for("figure6", ["pointer"]), jobs=jobs)
+        fanned_table = figure6(fanned, ["pointer"]).table("Figure 6").render()
+
+        assert fanned_table == serial_table
+        # The parallel merge must seed the memo: rendering above must not
+        # have re-simulated anything in the parent process.
+        assert fanned.simulations == 0

@@ -1,0 +1,53 @@
+"""Hot-path classes must stay ``__slots__``-only (no per-instance dict).
+
+These classes are instantiated or touched millions of times per simulation;
+an accidental ``__dict__`` (e.g. from dropping ``__slots__`` in a subclass
+or adding a class attribute carelessly) silently costs memory and speed.
+"""
+
+import pytest
+
+from repro.branch.predictors import (AlwaysTakenPredictor, BimodalPredictor,
+                                     GsharePredictor, StaticBTFNPredictor)
+from repro.core.configs import BASELINE
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.dyninst import DynInstr, MAIN_THREAD
+from repro.pipeline.funits import FUPool
+from repro.pipeline.ifq import IFQSlot, InstructionFetchQueue
+
+
+def make_instances():
+    cache = Cache(CacheConfig("t", sets=4, ways=2, block_bytes=32))
+    return [
+        IFQSlot(0, 0, False, False),
+        InstructionFetchQueue(8),
+        FUPool(BASELINE.fu),
+        cache,
+        MemoryHierarchy(),
+        BimodalPredictor(),
+        GsharePredictor(),
+        AlwaysTakenPredictor(),
+        StaticBTFNPredictor({}),
+    ]
+
+
+@pytest.mark.parametrize("obj", make_instances(),
+                         ids=lambda o: type(o).__name__)
+def test_no_instance_dict(obj):
+    assert not hasattr(obj, "__dict__"), (
+        f"{type(obj).__name__} grew a __dict__ — check __slots__ on it "
+        f"and every base class")
+
+
+def test_dyninst_is_slotted():
+    class FakeEntry:
+        pc = 0
+    instr = DynInstr(0, MAIN_THREAD, 0, FakeEntry(), 0)
+    assert not hasattr(instr, "__dict__")
+
+
+def test_slots_reject_unknown_attributes():
+    slot = IFQSlot(0, 0, False, False)
+    with pytest.raises(AttributeError):
+        slot.unknown_attribute = 1
