@@ -12,23 +12,31 @@ analyze WORKLOAD     trigger-point timeliness analysis of the p-threads
 figure {6,7,8,9}     regenerate a figure of the paper
 table {1,2,3}        regenerate a table of the paper
 bench                time compile/trace/simulate phases, write BENCH json
+journal show [RUN]   list run journals, or dump one run's JSONL events
 
 ``figure``, ``table`` and ``compare`` accept ``--jobs N`` (parallel cell
 fan-out over processes, default CPU count), ``--cache-dir``/``--no-cache``
 (persistent artifact cache, default ``~/.cache/repro`` or
-``$REPRO_CACHE_DIR``).
+``$REPRO_CACHE_DIR``), plus the fault-tolerance knobs ``--cell-timeout``,
+``--retries``, ``--fail-fast``/``--keep-going`` and ``--resume`` (skip
+cells the run journal already records as ok).  ``$REPRO_FAULTS`` injects
+deterministic faults (see ``repro.harness.faults``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .core.configs import PAPER_CONFIGS, BASELINE
-from .harness import (Cell, DiskCache, ExperimentRunner, build_artifacts,
-                      cells_for, default_jobs, figure6, figure7, figure8,
-                      figure9, run_cells, table1, table2, table3)
+from .harness import (Cell, DiskCache, ExecutionPolicy, ExperimentRunner,
+                      FatalCellError, RunJournal, RunReport, build_artifacts,
+                      cells_for, default_jobs, default_journal_dir,
+                      default_workloads, figure6, figure7, figure8, figure9,
+                      list_journals, run_cells, table1, table2, table3)
+from .harness.faults import FAULTS_ENV, FaultSpecError, active_faults
 from .workloads import all_workload_names, get_workload
 
 
@@ -47,6 +55,22 @@ def _add_perf(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the persistent artifact cache")
     p.set_defaults(use_cache=True)
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="abandon and retry a cell attempt after this long "
+                        "(pool mode only)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts per failing cell (default 2)")
+    g = p.add_mutually_exclusive_group()
+    g.add_argument("--fail-fast", action="store_true",
+                   help="abort the run on the first terminal cell failure")
+    g.add_argument("--keep-going", dest="fail_fast", action="store_false",
+                   help="record failures and keep computing the rest "
+                        "(default)")
+    p.set_defaults(fail_fast=False)
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells the run journal records as ok "
+                        "(restored from the cache); recompute only the rest")
 
 
 def _runner(args) -> ExperimentRunner:
@@ -60,6 +84,44 @@ def _runner(args) -> ExperimentRunner:
 def _jobs(args) -> int:
     jobs = getattr(args, "jobs", None)
     return default_jobs() if jobs is None else max(1, jobs)
+
+
+def _policy(args) -> ExecutionPolicy:
+    return ExecutionPolicy(
+        cell_timeout=getattr(args, "cell_timeout", None),
+        retries=getattr(args, "retries", 2),
+        fail_fast=getattr(args, "fail_fast", False))
+
+
+def _journal_dir(args) -> Path:
+    cache_dir = getattr(args, "cache_dir", None)
+    return Path(cache_dir) / "journal" if cache_dir else default_journal_dir()
+
+
+def _run_matrix(runner: ExperimentRunner, experiment: str,
+                workloads: list[str] | None, args) -> RunReport:
+    """Fault-tolerant execution of one experiment's cell matrix, journaled
+    under the run's content key."""
+    cells = cells_for(experiment, workloads)
+    journal = RunJournal.for_run(experiment, cells, runner,
+                                 root=_journal_dir(args))
+    return run_cells(runner, cells, _jobs(args), policy=_policy(args),
+                     journal=journal, resume=getattr(args, "resume", False))
+
+
+def _surviving_workloads(experiment: str, workloads: list[str] | None,
+                         report: RunReport) -> list[str]:
+    """Drop workloads with terminally-failed cells so rendering can't
+    re-trip the failure in-process (keep-going semantics)."""
+    names = workloads or default_workloads(experiment)
+    bad = {f.cell.workload for f in report.failures}
+    return [n for n in names if n not in bad]
+
+
+def _fatal(exc: FatalCellError) -> int:
+    print(f"fail-fast: {exc}", file=sys.stderr)
+    print(exc.report.render(), file=sys.stderr)
+    return 1
 
 
 def cmd_list(args) -> int:
@@ -118,9 +180,13 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     runner = _runner(args)
-    jobs = _jobs(args)
-    if jobs > 1:
-        run_cells(runner, cells_for("compare", [args.workload]), jobs)
+    try:
+        report = _run_matrix(runner, "compare", [args.workload], args)
+    except FatalCellError as exc:
+        return _fatal(exc)
+    if report.failures:
+        print(report.render(), file=sys.stderr)
+        return 1
     base = runner.run(args.workload, BASELINE)
     print(f"{'model':14s} {'IPC':>8s} {'speedup':>9s} {'L1 misses':>10s} "
           f"{'triggers':>9s}")
@@ -129,6 +195,8 @@ def cmd_compare(args) -> int:
         print(f"{config.name:14s} {res.ipc:8.3f} "
               f"{res.ipc / base.ipc:8.3f}x {res.main_l1_misses:10d} "
               f"{res.stats.spear.triggers:9d}")
+    print()
+    print(report.render())
     return 0
 
 
@@ -148,45 +216,61 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_figure(args) -> int:
-    runner = _runner(args)
-    workloads = args.workloads or None
-    jobs = _jobs(args)
-    if jobs > 1 and args.number in (6, 7, 8, 9):
-        run_cells(runner, cells_for(f"figure{args.number}", workloads), jobs)
-    if args.number == 6:
-        print(figure6(runner, workloads).table("Figure 6").render())
-    elif args.number == 7:
-        print(figure7(runner, workloads).table("Figure 7").render())
-    elif args.number == 8:
-        print(figure8(runner, workloads).table().render())
-    elif args.number == 9:
-        print(figure9(runner, workloads).table().render())
-    else:
+    if args.number not in (6, 7, 8, 9):
         print("figures: 6, 7, 8, 9", file=sys.stderr)
         return 2
-    return 0
+    runner = _runner(args)
+    workloads = args.workloads or None
+    experiment = f"figure{args.number}"
+    try:
+        report = _run_matrix(runner, experiment, workloads, args)
+    except FatalCellError as exc:
+        return _fatal(exc)
+    keep = _surviving_workloads(experiment, workloads, report)
+    if keep:
+        if args.number == 6:
+            print(figure6(runner, keep).table("Figure 6").render())
+        elif args.number == 7:
+            print(figure7(runner, keep).table("Figure 7").render())
+        elif args.number == 8:
+            print(figure8(runner, keep).table().render())
+        else:
+            print(figure9(runner, keep).table().render())
+    else:
+        print("no workload completed; nothing to render", file=sys.stderr)
+    print()
+    print(report.render())
+    return 0 if report.completed else 1
 
 
 def cmd_table(args) -> int:
-    runner = _runner(args)
-    jobs = _jobs(args)
-    if jobs > 1 and args.number in (1, 3):
-        from .harness.experiments import EVAL_WORKLOADS
-        names = args.workloads or EVAL_WORKLOADS
-        build_artifacts(runner, names, jobs)
-        if args.number == 3:
-            run_cells(runner, cells_for("table3", args.workloads or None),
-                      jobs)
-    if args.number == 1:
-        print(table1(runner, args.workloads or None).render())
-    elif args.number == 2:
-        print(table2().render())
-    elif args.number == 3:
-        print(table3(runner, args.workloads or None).render())
-    else:
+    if args.number not in (1, 2, 3):
         print("tables: 1, 2, 3", file=sys.stderr)
         return 2
-    return 0
+    runner = _runner(args)
+    if args.number == 2:
+        print(table2().render())
+        return 0
+    if args.number == 1:
+        jobs = _jobs(args)
+        if jobs > 1:
+            from .harness.experiments import EVAL_WORKLOADS
+            build_artifacts(runner, args.workloads or EVAL_WORKLOADS, jobs)
+        print(table1(runner, args.workloads or None).render())
+        return 0
+    workloads = args.workloads or None
+    try:
+        report = _run_matrix(runner, "table3", workloads, args)
+    except FatalCellError as exc:
+        return _fatal(exc)
+    keep = _surviving_workloads("table3", workloads, report)
+    if keep:
+        print(table3(runner, keep).render())
+    else:
+        print("no workload completed; nothing to render", file=sys.stderr)
+    print()
+    print(report.render())
+    return 0 if report.completed else 1
 
 
 def cmd_bench(args) -> int:
@@ -203,6 +287,41 @@ def cmd_bench(args) -> int:
                        reference=reference)
     print(render_report(report))
     print(f"\nreport written to {args.output}")
+    return 0
+
+
+def cmd_journal_show(args) -> int:
+    root = Path(args.journal_dir) if args.journal_dir else \
+        default_journal_dir()
+    journals = list_journals(root)
+    if not args.run:
+        if not journals:
+            print(f"no run journals under {root}")
+            return 0
+        print(f"{'run':16s} {'experiment':10s} {'events':>7s} {'ok':>5s} "
+              f"{'failed':>7s}")
+        for j in journals:
+            records = j.entries()
+            cells = [r for r in records if r.get("event") == "cell"]
+            experiment = next(
+                (r.get("experiment") for r in records
+                 if r.get("event") == "start" and r.get("experiment")), "?")
+            ok = sum(1 for r in cells if r.get("status") == "ok")
+            failed = sum(1 for r in cells if r.get("status") == "failed")
+            print(f"{j.run_id[:16]:16s} {str(experiment):10s} "
+                  f"{len(records):7d} {ok:5d} {failed:7d}")
+        return 0
+    matches = [j for j in journals if j.run_id.startswith(args.run)]
+    if not matches:
+        print(f"no journal matching {args.run!r} under {root}",
+              file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(f"ambiguous run prefix {args.run!r}: "
+              f"{', '.join(j.run_id[:16] for j in matches)}", file=sys.stderr)
+        return 2
+    for record in matches[0].entries():
+        print(json.dumps(record, sort_keys=True))
     return 0
 
 
@@ -257,6 +376,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_perf(p)
     p.set_defaults(fn=cmd_table)
 
+    p = sub.add_parser("journal", help="inspect run journals")
+    jsub = p.add_subparsers(dest="action", required=True)
+    pj = jsub.add_parser(
+        "show", help="list run journals, or dump one run's JSONL events")
+    pj.add_argument("run", nargs="?",
+                    help="run key (prefix ok); omit to list all journals")
+    pj.add_argument("--journal-dir", default=None,
+                    help="journal location (default: <cache-dir>/journal)")
+    pj.set_defaults(fn=cmd_journal_show)
+
     p = sub.add_parser(
         "bench", help="time compile/trace/simulate, write a BENCH json")
     p.add_argument("workloads", nargs="*")
@@ -275,6 +404,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        active_faults()
+    except FaultSpecError as exc:
+        print(f"invalid {FAULTS_ENV}: {exc}", file=sys.stderr)
+        return 2
     return args.fn(args)
 
 

@@ -1,5 +1,6 @@
 """Evaluation harness: runner, experiments (one per paper table/figure),
-persistent artifact cache, parallel engine and the phase-timing bench."""
+persistent artifact cache, fault-tolerant parallel engine, run journal,
+fault injection and the phase-timing bench."""
 
 from .bench import render_report, run_bench
 from .diskcache import CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache, \
@@ -9,8 +10,13 @@ from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
                           REGULAR_WORKLOADS, SpeedupResult, figure6, figure7,
                           figure8, figure9, motivation, table1, table2,
                           table3)
-from .parallel import (Cell, build_artifacts, cells_for, default_jobs,
-                       run_cells)
+from .faults import (FAULTS_ENV, FaultClause, FaultSpecError, InjectedCrash,
+                     InjectedFault, active_faults, parse_faults,
+                     render_faults)
+from .journal import RunJournal, default_journal_dir, list_journals
+from .parallel import (Cell, CellFailure, ExecutionPolicy, FatalCellError,
+                       RunReport, build_artifacts, cells_for,
+                       default_jobs, default_workloads, run_cells)
 from .runner import ExperimentRunner, WorkloadArtifacts
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
@@ -22,4 +28,10 @@ __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "arithmetic_mean", "geometric_mean",
            "CACHE_DIR_ENV", "SCHEMA_VERSION", "DiskCache",
            "default_cache_dir", "Cell", "build_artifacts", "cells_for",
-           "default_jobs", "run_cells", "render_report", "run_bench"]
+           "default_jobs", "default_workloads", "run_cells",
+           "render_report", "run_bench",
+           "CellFailure", "ExecutionPolicy", "FatalCellError", "RunReport",
+           "RunJournal", "default_journal_dir", "list_journals",
+           "FAULTS_ENV", "FaultClause", "FaultSpecError", "InjectedCrash",
+           "InjectedFault", "active_faults", "parse_faults",
+           "render_faults"]

@@ -15,7 +15,9 @@ invalidates cleanly — stale entries are simply never looked up again.
 
 Robustness: entries are written atomically (tempfile + ``os.replace``) and
 any unreadable entry — truncated, corrupt, wrong pickle version — is
-treated as a miss and deleted, never an error.
+treated as a miss and deleted, never an error.  ``*.tmp`` files a killed
+writer left behind are swept at startup once they are older than
+:attr:`DiskCache.TMP_MAX_AGE` (younger ones may belong to a live writer).
 """
 
 from __future__ import annotations
@@ -25,8 +27,11 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from .faults import corrupt_cache_bytes
 
 #: Bump whenever a change to the compiler, functional simulator or timing
 #: model alters what cached artifacts/results would contain.
@@ -59,10 +64,12 @@ class CacheCounters:
     misses: int = 0
     stores: int = 0
     errors: int = 0   # corrupt/unreadable entries recovered as misses
+    sweeps: int = 0   # stale *.tmp files removed at startup
 
     def snapshot(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "errors": self.errors}
+                "stores": self.stores, "errors": self.errors,
+                "sweeps": self.sweeps}
 
 
 class DiskCache:
@@ -72,13 +79,21 @@ class DiskCache:
     same key payload can back different value types.
     """
 
-    __slots__ = ("root", "schema_version", "counters")
+    #: Seconds a ``*.tmp`` file must be old before the startup sweep
+    #: removes it — a younger one may belong to a live concurrent writer.
+    TMP_MAX_AGE = 3600.0
+
+    __slots__ = ("root", "schema_version", "counters", "tmp_max_age")
 
     def __init__(self, root: str | Path | None = None, *,
-                 schema_version: int = SCHEMA_VERSION):
+                 schema_version: int = SCHEMA_VERSION,
+                 tmp_max_age: float | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.schema_version = schema_version
         self.counters: dict[str, CacheCounters] = {}
+        self.tmp_max_age = (self.TMP_MAX_AGE if tmp_max_age is None
+                            else tmp_max_age)
+        self._sweep_stale_tmp()
 
     # -- key/path plumbing -------------------------------------------------
 
@@ -94,6 +109,24 @@ class DiskCache:
 
     def path_for(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.pkl"
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp`` files a killed writer left behind.  Atomic
+        writes rename their tempfile away on success, so anything old
+        enough to be past ``tmp_max_age`` is an orphan."""
+        if not self.root.is_dir():
+            return
+        cutoff = time.time() - self.tmp_max_age
+        for tmp in self.root.rglob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue
+                tmp.unlink()
+            except OSError:
+                continue
+            parts = tmp.relative_to(self.root).parts
+            kind = parts[0] if len(parts) > 1 else "(root)"
+            self._counter(kind).sweeps += 1
 
     # -- operations --------------------------------------------------------
 
@@ -125,12 +158,16 @@ class DiskCache:
     def put(self, kind: str, payload: dict, value) -> None:
         """Store atomically; concurrent writers of the same key are safe
         (last ``os.replace`` wins with identical content)."""
-        path = self.path_for(kind, self.key_for(kind, payload))
+        key = self.key_for(kind, payload)
+        path = self.path_for(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        data = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        # No-op unless a corrupt-cache fault is injected ($REPRO_FAULTS).
+        data = corrupt_cache_bytes(kind, key, data)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, pickle.HIGHEST_PROTOCOL)
+                fh.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -150,7 +187,13 @@ class DiskCache:
         removed = 0
         if not self.root.exists():
             return 0
-        for path in self.root.rglob("*.pkl"):
+        for pattern in ("*.pkl", "*.tmp"):
+            removed += self._unlink_all(pattern)
+        return removed
+
+    def _unlink_all(self, pattern: str) -> int:
+        removed = 0
+        for path in self.root.rglob(pattern):
             try:
                 path.unlink()
                 removed += 1

@@ -1,0 +1,128 @@
+"""Append-only JSONL run journal: what happened to every cell of a run.
+
+Each ``repro figure``/``table``/``compare`` invocation journals the
+outcome of every cell attempt (ok / retried / timed-out / failed) to
+``<cache-dir>/journal/<run-key>.jsonl``.  The run key is a content hash
+over the experiment name and the cells' result keys — the same
+derivation :class:`~repro.harness.diskcache.DiskCache` uses — so the
+same invocation always appends to the same file, and an interrupted run
+can be resumed with ``--resume``: cells the journal records as ``ok``
+are restored from the disk cache and only the rest are recomputed.
+
+The journal is crash-safe by construction: records are single lines
+appended with a flush per record, and a torn final line (killed writer)
+is simply skipped on read.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from .diskcache import SCHEMA_VERSION, content_key, default_cache_dir
+
+
+def default_journal_dir() -> Path:
+    """Journals live next to the cache: ``<cache-dir>/journal``."""
+    return default_cache_dir() / "journal"
+
+
+def cell_key(runner, cell) -> str:
+    """Stable identity of one cell's result — the DiskCache key payload
+    for the (workload, normalized config) pair under this runner."""
+    config = runner.normalize_config(cell.config, cell.latencies)
+    payload = runner.result_payload(cell.workload, config)
+    return content_key({"schema": SCHEMA_VERSION, "kind": "results",
+                        **payload})
+
+
+def run_key(experiment: str, cells, runner) -> str:
+    """Content hash identifying one experiment invocation: experiment
+    name plus the identity of every cell in its matrix."""
+    return content_key({"kind": "journal", "experiment": experiment,
+                        "cells": [cell_key(runner, c) for c in cells]})
+
+
+class RunJournal:
+    """One run's append-only JSONL event log."""
+
+    def __init__(self, path: str | Path, experiment: str | None = None):
+        self.path = Path(path)
+        self.experiment = experiment
+
+    @classmethod
+    def for_run(cls, experiment: str, cells, runner,
+                root: str | Path | None = None) -> "RunJournal":
+        root = Path(root) if root is not None else default_journal_dir()
+        return cls(root / f"{run_key(experiment, cells, runner)}.jsonl",
+                   experiment)
+
+    @property
+    def run_id(self) -> str:
+        return self.path.stem
+
+    # -- writing -----------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def record_start(self, total: int) -> None:
+        self._append({"event": "start", "experiment": self.experiment,
+                      "cells": total, "time": time.time()})
+
+    def record_cell(self, *, index: int, key: str, workload: str,
+                    config: str, status: str, attempts: int,
+                    elapsed: float = 0.0, kind: str | None = None,
+                    error: str | None = None) -> None:
+        rec = {"event": "cell", "index": index, "key": key,
+               "workload": workload, "config": config, "status": status,
+               "attempts": attempts, "elapsed": round(elapsed, 6)}
+        if kind is not None:
+            rec["kind"] = kind
+        if error is not None:
+            rec["error"] = error[:500]
+        self._append(rec)
+
+    def record_end(self, summary: dict) -> None:
+        self._append({"event": "end", "time": time.time(),
+                      "report": summary})
+
+    # -- reading -----------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Every intact record, oldest first (torn lines are skipped)."""
+        if not self.path.is_file():
+            return []
+        out = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                continue
+        return out
+
+    def completed_keys(self) -> set[str]:
+        """Cell keys with at least one journaled ``ok`` — the set
+        ``--resume`` may skip (after verifying the cache still holds
+        each result)."""
+        return {rec["key"] for rec in self.entries()
+                if rec.get("event") == "cell" and rec.get("status") == "ok"
+                and "key" in rec}
+
+
+def list_journals(root: str | Path | None = None) -> list[RunJournal]:
+    """All journals under ``root``, most recently touched first."""
+    root = Path(root) if root is not None else default_journal_dir()
+    if not root.is_dir():
+        return []
+    paths = sorted(root.glob("*.jsonl"), key=lambda p: p.stat().st_mtime,
+                   reverse=True)
+    return [RunJournal(p) for p in paths]

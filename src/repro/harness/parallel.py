@@ -1,14 +1,34 @@
-"""Parallel experiment engine: fan the evaluation matrix out over processes.
+"""Fault-tolerant parallel experiment engine.
 
 Every figure/table is a (workload × machine-config [× latency]) matrix of
 independent cells — the same embarrassing parallelism Prophet exploits for
-speculative threads.  This module enumerates those cells as picklable
-:class:`Cell` descriptors (workload *name* plus frozen configs; artifacts
-are rebuilt or cache-loaded inside each worker), computes them on a
-``ProcessPoolExecutor``, and merges the results back into the parent
+speculative threads, and the same fault model: a mis-speculated (crashed,
+hung, failing) cell is squashed and re-executed alone, never at the cost
+of the rest of the run.  This module enumerates those cells as picklable
+:class:`Cell` descriptors, computes them on a ``ProcessPoolExecutor`` via
+per-future submission, and merges the results back into the parent
 :class:`~repro.harness.runner.ExperimentRunner`'s memo **in submission
 order**, so figures and tables render byte-identically regardless of job
-count.  ``jobs=1`` bypasses the pool entirely and is the exact serial path.
+count.  ``jobs=1`` bypasses the pool entirely and is the exact serial
+path (same retry/keep-going semantics, no per-cell timeout preemption).
+
+Fault tolerance, governed by :class:`ExecutionPolicy`:
+
+- a cell attempt that raises is retried with exponential backoff up to
+  ``retries`` extra attempts, then recorded as a :class:`CellFailure`;
+- a cell attempt exceeding ``cell_timeout`` seconds is abandoned (the
+  pool is torn down to reclaim the stuck worker) and retried;
+- a dead worker (``BrokenProcessPool``) costs only the in-flight cells:
+  the pool is rebuilt and outstanding cells resubmitted, degrading to
+  in-process serial execution after ``max_pool_rebuilds`` rebuilds;
+- with ``fail_fast`` a terminal failure raises :class:`FatalCellError`;
+  otherwise (keep-going, the default) failures are collected on the
+  returned :class:`RunReport` and every other cell still completes.
+
+Attach a :class:`~repro.harness.journal.RunJournal` and every attempt is
+journaled; pass ``resume=True`` and journaled-ok cells are restored from
+the disk cache instead of recomputed.  Deterministic fault injection for
+all of these paths lives in :mod:`repro.harness.faults`.
 
 Workers share the parent's :class:`~repro.harness.diskcache.DiskCache`
 (when one is attached), so artifact compilation happens at most once per
@@ -18,15 +38,20 @@ workload across the whole fleet — and not at all on a warm cache.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, \
+    wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 from ..compiler.slicer import SlicerConfig
 from ..core.configs import (BASELINE, BASELINE_NEXTLINE, BASELINE_STRIDE,
                             PAPER_CONFIGS, SPEAR_128, SPEAR_256, SPEAR_SF_128,
                             SPEAR_SF_256, MachineConfig)
 from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig
+from . import faults
 from .diskcache import DiskCache
+from .journal import RunJournal, cell_key
 from .runner import ExperimentRunner
 
 
@@ -52,26 +77,139 @@ EXPERIMENT_CONFIGS: dict[str, list[MachineConfig]] = {
 }
 
 
+def default_workloads(experiment: str) -> list[str]:
+    """The workload rows an experiment uses when none are requested."""
+    from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS,
+                              IRREGULAR_WORKLOADS, REGULAR_WORKLOADS)
+    if experiment == "figure9":
+        return list(FIG9_WORKLOADS)
+    if experiment == "motivation":
+        return REGULAR_WORKLOADS + IRREGULAR_WORKLOADS
+    return list(EVAL_WORKLOADS)
+
+
 def cells_for(experiment: str,
               workloads: list[str] | None = None) -> list[Cell]:
     """Enumerate the cell matrix of one experiment, workload-major (so
     chunked submission keeps one workload's artifacts in one worker)."""
-    from .experiments import EVAL_WORKLOADS, FIG9_WORKLOADS  # no cycle: experiments→runner only
     configs = EXPERIMENT_CONFIGS[experiment]
+    names = workloads or default_workloads(experiment)
     if experiment == "figure9":
-        names = workloads or FIG9_WORKLOADS
         return [Cell(n, c, lat)
                 for n in names for lat in FIG9_LATENCIES for c in configs]
-    if experiment == "motivation":
-        from .experiments import IRREGULAR_WORKLOADS, REGULAR_WORKLOADS
-        names = workloads or REGULAR_WORKLOADS + IRREGULAR_WORKLOADS
-    else:
-        names = workloads or EVAL_WORKLOADS
     return [Cell(n, c) for n in names for c in configs]
 
 
 def default_jobs() -> int:
     return os.cpu_count() or 1
+
+
+# -- policy / outcome types -------------------------------------------------
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Knobs governing the fault-tolerant cell executor."""
+
+    #: seconds one attempt may run before being abandoned (pool mode only;
+    #: the in-process serial path cannot preempt a running cell)
+    cell_timeout: float | None = None
+    #: extra attempts after the first, per cell
+    retries: int = 2
+    #: base of the exponential retry backoff, in seconds
+    backoff: float = 0.25
+    #: abort the whole run on the first terminal failure
+    fail_fast: bool = False
+    #: pool rebuilds tolerated before degrading to serial execution
+    max_pool_rebuilds: int = 2
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before ``attempt`` (attempt 2 = first retry)."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * (2 ** max(0, attempt - 2))
+
+
+@dataclass
+class CellFailure:
+    """Terminal failure of one cell, after its retry budget ran out."""
+
+    cell: Cell
+    index: int
+    attempts: int
+    kind: str        #: ``"exception"`` or ``"timeout"``
+    error: str
+
+    def describe(self) -> str:
+        lat = (f" mem={self.cell.latencies.memory}"
+               if self.cell.latencies is not None else "")
+        return (f"{self.cell.workload}/{self.cell.config.name}{lat}: "
+                f"{self.kind} after {self.attempts} attempt(s) — {self.error}")
+
+
+@dataclass
+class RunReport:
+    """Outcome summary of one :func:`run_cells` invocation."""
+
+    total: int = 0          #: unique cells not already memoized
+    ok: int = 0             #: cells computed successfully this run
+    resumed: int = 0        #: cells restored from journal + cache
+    retried: int = 0        #: ok cells that needed more than one attempt
+    timeouts: int = 0       #: attempts lost to the per-cell timeout
+    pool_rebuilds: int = 0
+    degraded: bool = False  #: fell back to in-process serial execution
+    wall_time: float = 0.0
+    failures: list[CellFailure] = field(default_factory=list)
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def completed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> dict:
+        return {"total": self.total, "ok": self.ok, "resumed": self.resumed,
+                "retried": self.retried, "timeouts": self.timeouts,
+                "failed": self.failed, "pool_rebuilds": self.pool_rebuilds,
+                "degraded": self.degraded,
+                "wall_time": round(self.wall_time, 3),
+                "failures": [f.describe() for f in self.failures],
+                "cache": self.cache_stats}
+
+    def render(self) -> str:
+        bits = [f"{self.ok} ok"]
+        if self.resumed:
+            bits.append(f"{self.resumed} resumed")
+        if self.retried:
+            bits.append(f"{self.retried} retried")
+        bits.append(f"{self.failed} failed")
+        lines = [f"run report: {self.total} cell(s) — " + ", ".join(bits)
+                 + f"; wall {self.wall_time:.1f}s"]
+        if self.timeouts or self.pool_rebuilds or self.degraded:
+            extra = [f"timeouts {self.timeouts}",
+                     f"pool rebuilds {self.pool_rebuilds}"]
+            if self.degraded:
+                extra.append("degraded to serial")
+            lines.append("  " + ", ".join(extra))
+        for failure in self.failures:
+            lines.append(f"  FAILED {failure.describe()}")
+        for kind, c in sorted(self.cache_stats.items()):
+            lines.append(
+                f"  cache[{kind}]: {c['hits']} hits, {c['misses']} misses, "
+                f"{c['stores']} stores, {c['errors']} errors, "
+                f"{c.get('sweeps', 0)} tmp swept")
+        return "\n".join(lines)
+
+
+class FatalCellError(RuntimeError):
+    """Raised under ``fail_fast`` when a cell exhausts its retries."""
+
+    def __init__(self, failure: CellFailure, report: RunReport):
+        super().__init__(failure.describe())
+        self.failure = failure
+        self.report = report
 
 
 # -- worker side -----------------------------------------------------------
@@ -82,12 +220,14 @@ _WORKER_RUNNER: ExperimentRunner | None = None
 def _init_worker(slicer_config: SlicerConfig, scale: float,
                  cache_dir: str | None) -> None:
     global _WORKER_RUNNER
+    faults.mark_worker()
     cache = DiskCache(cache_dir) if cache_dir is not None else None
     _WORKER_RUNNER = ExperimentRunner(slicer_config=slicer_config,
                                       instruction_scale=scale, cache=cache)
 
 
-def _run_cell(cell: Cell):
+def _run_cell(cell: Cell, index: int = 0, attempt: int = 1):
+    faults.inject_cell_faults(index, attempt)
     return _WORKER_RUNNER.run(cell.workload, cell.config, cell.latencies)
 
 
@@ -98,42 +238,270 @@ def _build_artifact(name: str):
 # -- parent side -----------------------------------------------------------
 
 def run_cells(runner: ExperimentRunner, cells: list[Cell],
-              jobs: int | None = None) -> ExperimentRunner:
-    """Compute ``cells`` with ``jobs`` workers, seeding ``runner``'s memo.
+              jobs: int | None = None, *,
+              policy: ExecutionPolicy | None = None,
+              journal: RunJournal | None = None,
+              resume: bool = False) -> RunReport:
+    """Compute ``cells`` fault-tolerantly, seeding ``runner``'s memo.
 
     Deterministic: cells are deduplicated preserving order and results are
     merged in that same order, and each cell's simulation is itself
     deterministic — so downstream rendering is byte-identical for any job
-    count.  ``jobs=1`` (or a single cell) runs in-process on the exact
-    serial path.
+    count, retry history or resume split.  Returns a :class:`RunReport`;
+    under ``policy.fail_fast`` a terminal cell failure raises
+    :class:`FatalCellError` instead (completed cells are still merged).
     """
+    policy = policy or ExecutionPolicy()
     jobs = default_jobs() if jobs is None else jobs
+    started = time.monotonic()
     unique = [c for c in dict.fromkeys(cells)
-              if (c.workload,
-                  runner.normalize_config(c.config, c.latencies))
-              not in runner._results]
-    if not unique:
-        return runner
-    if jobs <= 1 or len(unique) == 1:
-        for cell in unique:
-            runner.run(cell.workload, cell.config, cell.latencies)
-        return runner
-    workers = min(jobs, len(unique))
-    # Chunking keeps consecutive (same-workload) cells in one worker so its
-    # in-memory artifact memo is reused even without a disk cache.
-    chunksize = max(1, len(unique) // (workers * 4))
-    with _pool(runner, workers) as pool:
-        results = list(pool.map(_run_cell, unique, chunksize=chunksize))
-    for cell, result in zip(unique, results):
-        runner.seed_result(cell.workload, cell.config, cell.latencies, result)
-    return runner
+              if not runner.has_result(c.workload, c.config, c.latencies)]
+    report = RunReport(total=len(unique))
+    if journal is not None and unique:
+        journal.record_start(len(unique))
+    if resume and journal is not None and unique:
+        unique = _restore_resumed(runner, unique, journal, report)
+    indexed = list(enumerate(unique))
+    attempts = {i: 0 for i, _ in indexed}
+    results: dict[int, object] = {}
+    try:
+        if not indexed:
+            pass
+        elif jobs <= 1 or len(indexed) == 1:
+            _execute_serial(runner, indexed, attempts, policy, report,
+                            journal, results)
+        else:
+            _execute_pool(runner, indexed, attempts, policy, report,
+                          journal, results, jobs)
+    finally:
+        # Merge in submission order so rendering is order-independent.
+        for i, cell in indexed:
+            if i in results:
+                runner.seed_result(cell.workload, cell.config,
+                                   cell.latencies, results[i])
+        report.wall_time = time.monotonic() - started
+        if runner.cache is not None:
+            report.cache_stats = runner.cache.stats()
+        if journal is not None and report.total:
+            journal.record_end(report.summary())
+    return report
+
+
+def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
+                     journal: RunJournal, report: RunReport) -> list[Cell]:
+    """Seed journaled-ok cells from the disk cache; return the rest.
+
+    A journaled ``ok`` is only trusted if the cache still holds the
+    result — anything evicted (or run without a cache) is recomputed.
+    """
+    done = journal.completed_keys()
+    if not done:
+        return unique
+    remaining = []
+    for cell in unique:
+        restored = None
+        if cell_key(runner, cell) in done and runner.cache is not None:
+            config = runner.normalize_config(cell.config, cell.latencies)
+            restored = runner.cache.get(
+                "results", runner.result_payload(cell.workload, config))
+        if restored is not None:
+            runner.seed_result(cell.workload, cell.config, cell.latencies,
+                               restored)
+            report.resumed += 1
+        else:
+            remaining.append(cell)
+    return remaining
+
+
+def _register_ok(runner, cell: Cell, i: int, attempts_used: int,
+                 elapsed: float, result, results: dict, report: RunReport,
+                 journal: RunJournal | None) -> None:
+    results[i] = result
+    report.ok += 1
+    if attempts_used > 1:
+        report.retried += 1
+    if journal is not None:
+        journal.record_cell(index=i, key=cell_key(runner, cell),
+                            workload=cell.workload, config=cell.config.name,
+                            status="ok", attempts=attempts_used,
+                            elapsed=elapsed)
+
+
+def _register_failure(runner, cell: Cell, i: int, attempts_used: int,
+                      kind: str, error, policy: ExecutionPolicy,
+                      report: RunReport,
+                      journal: RunJournal | None) -> bool:
+    """Record one failed attempt.  Returns True if the cell may retry;
+    on terminal failure appends a :class:`CellFailure` (and raises under
+    ``fail_fast``)."""
+    if kind == "timeout":
+        report.timeouts += 1
+    message = (error if isinstance(error, str)
+               else f"{type(error).__name__}: {error}")
+    retryable = attempts_used <= policy.retries
+    if journal is not None:
+        status = ("timed-out" if kind == "timeout" else "retried") \
+            if retryable else "failed"
+        journal.record_cell(index=i, key=cell_key(runner, cell),
+                            workload=cell.workload, config=cell.config.name,
+                            status=status, attempts=attempts_used,
+                            kind=kind, error=message)
+    if retryable:
+        return True
+    failure = CellFailure(cell, i, attempts_used, kind, message)
+    report.failures.append(failure)
+    if policy.fail_fast:
+        raise FatalCellError(failure, report)
+    return False
+
+
+def _execute_serial(runner: ExperimentRunner, items, attempts: dict,
+                    policy: ExecutionPolicy, report: RunReport,
+                    journal: RunJournal | None, results: dict) -> None:
+    """The in-process path: same retry/keep-going semantics, no pool.
+    ``cell_timeout`` cannot preempt in-process work and is not enforced."""
+    for i, cell in list(items):
+        while True:
+            attempts[i] += 1
+            t0 = time.monotonic()
+            try:
+                faults.inject_cell_faults(i, attempts[i])
+                result = runner.run(cell.workload, cell.config,
+                                    cell.latencies)
+            except Exception as exc:
+                if _register_failure(runner, cell, i, attempts[i],
+                                     "exception", exc, policy, report,
+                                     journal):
+                    time.sleep(policy.backoff_for(attempts[i] + 1))
+                    continue
+                break
+            _register_ok(runner, cell, i, attempts[i],
+                         time.monotonic() - t0, result, results, report,
+                         journal)
+            break
+
+
+def _execute_pool(runner: ExperimentRunner, indexed, attempts: dict,
+                  policy: ExecutionPolicy, report: RunReport,
+                  journal: RunJournal | None, results: dict,
+                  jobs: int) -> None:
+    """Pool generations: drain, rebuild on breakage/timeout, degrade to
+    serial once the rebuild budget is spent."""
+    outstanding = dict(indexed)
+    workers = min(jobs, len(outstanding))
+    while outstanding:
+        abandoned = _drain_pool(runner, outstanding, attempts, results,
+                                workers, policy, report, journal)
+        if not outstanding or not abandoned:
+            return
+        report.pool_rebuilds += 1
+        if report.pool_rebuilds > policy.max_pool_rebuilds:
+            report.degraded = True
+            _execute_serial(runner, sorted(outstanding.items()), attempts,
+                            policy, report, journal, results)
+            return
+
+
+def _drain_pool(runner: ExperimentRunner, outstanding: dict, attempts: dict,
+                results: dict, workers: int, policy: ExecutionPolicy,
+                report: RunReport, journal: RunJournal | None) -> bool:
+    """Run one pool generation over every outstanding cell.
+
+    Submits each cell as its own future, harvests completions (retrying
+    plain worker exceptions in place) until the queue drains, a worker
+    dies (``BrokenProcessPool``) or a cell overruns ``cell_timeout``.
+    Returns True when the pool was abandoned and the caller should
+    rebuild; completed/terminally-failed cells leave ``outstanding``
+    either way, so a rebuild resubmits only what is left.
+    """
+    pool = _pool(runner, min(workers, len(outstanding)))
+    pending: dict[Future, tuple[int, float]] = {}
+    abandon = True
+    try:
+        for i in sorted(outstanding):
+            fut = pool.submit(_run_cell, outstanding[i], i, attempts[i] + 1)
+            pending[fut] = (i, time.monotonic())
+        broken = False
+        while pending:
+            poll = None
+            if policy.cell_timeout is not None:
+                poll = max(0.01, min(0.25, policy.cell_timeout / 4))
+            done, _ = wait(list(pending), timeout=poll,
+                           return_when=FIRST_COMPLETED)
+            for fut in done:
+                i, started = pending.pop(fut)
+                cell = outstanding[i]
+                attempts[i] += 1
+                try:
+                    result = fut.result()
+                except BrokenProcessPool:
+                    # Collateral or culprit — indistinguishable; both are
+                    # resubmitted by the next generation.
+                    broken = True
+                except Exception as exc:
+                    if _register_failure(runner, cell, i, attempts[i],
+                                         "exception", exc, policy, report,
+                                         journal):
+                        if not broken:
+                            time.sleep(policy.backoff_for(attempts[i] + 1))
+                            try:
+                                nfut = pool.submit(_run_cell, cell, i,
+                                                   attempts[i] + 1)
+                                pending[nfut] = (i, time.monotonic())
+                            except Exception:
+                                broken = True
+                    else:
+                        del outstanding[i]
+                else:
+                    _register_ok(runner, cell, i, attempts[i],
+                                 time.monotonic() - started, result,
+                                 results, report, journal)
+                    del outstanding[i]
+            if broken:
+                return True
+            if policy.cell_timeout is None:
+                continue
+            now = time.monotonic()
+            expired = [(fut, meta) for fut, meta in pending.items()
+                       if now - meta[1] > policy.cell_timeout]
+            if not expired:
+                continue
+            for fut, (i, _started) in expired:
+                pending.pop(fut)
+                fut.cancel()
+                attempts[i] += 1
+                if not _register_failure(runner, outstanding[i], i,
+                                         attempts[i], "timeout",
+                                         f"exceeded {policy.cell_timeout:g}s",
+                                         policy, report, journal):
+                    del outstanding[i]
+            # A stuck worker can only be reclaimed by pool teardown.
+            return True
+        abandon = False
+        return False
+    finally:
+        if abandon:
+            _terminate(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+
+
+def _terminate(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's workers outright (stuck or crashing generations)."""
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
 
 
 def build_artifacts(runner: ExperimentRunner, names: list[str],
                     jobs: int | None = None) -> ExperimentRunner:
     """Build several workloads' artifacts in parallel (table 1/3 prep)."""
     jobs = default_jobs() if jobs is None else jobs
-    missing = [n for n in dict.fromkeys(names) if n not in runner._artifacts]
+    missing = [n for n in dict.fromkeys(names) if not runner.has_artifact(n)]
     if not missing:
         return runner
     if jobs <= 1 or len(missing) == 1:
@@ -143,7 +511,7 @@ def build_artifacts(runner: ExperimentRunner, names: list[str],
     with _pool(runner, min(jobs, len(missing))) as pool:
         arts = list(pool.map(_build_artifact, missing))
     for name, art in zip(missing, arts):
-        runner._artifacts[name] = art
+        runner.seed_artifact(name, art)
     return runner
 
 

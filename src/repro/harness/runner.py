@@ -71,7 +71,8 @@ class ExperimentRunner:
                 "scale": self.instruction_scale,
                 "slicer": asdict(self.slicer_config)}
 
-    def _result_payload(self, name: str, config: MachineConfig) -> dict:
+    def result_payload(self, name: str, config: MachineConfig) -> dict:
+        """Cache/journal key payload of one (workload, config) result."""
         payload = self._artifact_payload(name)
         payload["config"] = asdict(config)
         return payload
@@ -133,7 +134,7 @@ class ExperimentRunner:
         if result is None:
             if self.cache is not None:
                 result = self.cache.get("results",
-                                        self._result_payload(name, config))
+                                        self.result_payload(name, config))
             if result is None:
                 art = self.artifacts(name)
                 memory = MemoryHierarchy(latencies=config.latencies)
@@ -143,7 +144,7 @@ class ExperimentRunner:
                 self.simulations += 1
                 if self.cache is not None:
                     self.cache.put("results",
-                                   self._result_payload(name, config), result)
+                                   self.result_payload(name, config), result)
             self._results[key] = result
         return result
 
@@ -154,6 +155,20 @@ class ExperimentRunner:
         config = self.normalize_config(config, latencies)
         self._results[(name, config)] = result
 
+    def has_result(self, name: str, config: MachineConfig,
+                   latencies: LatencyConfig | None = None) -> bool:
+        """Whether the memo already holds this cell's result — the one
+        blessed membership check (parallel engine, journal resume)."""
+        return (name, self.normalize_config(config, latencies)) in self._results
+
+    def has_artifact(self, name: str) -> bool:
+        """Whether ``name``'s artifacts are already memoized in-process."""
+        return name in self._artifacts
+
+    def seed_artifact(self, name: str, artifacts: WorkloadArtifacts) -> None:
+        """Adopt artifacts built elsewhere (the parallel engine's merge)."""
+        self._artifacts[name] = artifacts
+
     def speedup(self, name: str, config: MachineConfig,
                 baseline: MachineConfig,
                 latencies: LatencyConfig | None = None) -> float:
@@ -162,5 +177,9 @@ class ExperimentRunner:
                 / self.run(name, baseline, latencies).ipc)
 
     def clear(self) -> None:
+        """Drop every memo and reset the work counters, so a cleared
+        runner reports as if freshly constructed."""
         self._artifacts.clear()
         self._results.clear()
+        self.builds = 0
+        self.simulations = 0

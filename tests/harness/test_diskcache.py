@@ -68,9 +68,9 @@ class TestInvalidation:
 
     def test_config_in_result_key(self, cache):
         r = ExperimentRunner(instruction_scale=0.05, cache=cache)
-        assert (cache.key_for("results", r._result_payload("pointer", BASELINE))
+        assert (cache.key_for("results", r.result_payload("pointer", BASELINE))
                 != cache.key_for("results",
-                                 r._result_payload("pointer", SPEAR_128)))
+                                 r.result_payload("pointer", SPEAR_128)))
 
 
 class TestCorruption:
@@ -101,6 +101,49 @@ class TestCorruption:
         assert not path.exists()
 
 
+class TestTmpSweep:
+    def _plant_tmp(self, root, age_s=0):
+        import os
+        import time as time_mod
+        d = root / "results" / "ab"
+        d.mkdir(parents=True, exist_ok=True)
+        tmp = d / "orphan123.tmp"
+        tmp.write_bytes(b"half-written junk")
+        if age_s:
+            old = time_mod.time() - age_s
+            os.utime(tmp, (old, old))
+        return tmp
+
+    def test_stale_tmp_swept_on_startup(self, tmp_path):
+        root = tmp_path / "c"
+        tmp = self._plant_tmp(root, age_s=7200)
+        cache = DiskCache(root)
+        assert not tmp.exists()
+        assert cache.counters["results"].sweeps == 1
+        assert cache.stats()["results"]["sweeps"] == 1
+
+    def test_fresh_tmp_left_for_live_writer(self, tmp_path):
+        root = tmp_path / "c"
+        tmp = self._plant_tmp(root, age_s=0)
+        cache = DiskCache(root)   # default hour-long grace period
+        assert tmp.exists()
+        assert "results" not in cache.counters
+
+    def test_tmp_age_override(self, tmp_path):
+        root = tmp_path / "c"
+        tmp = self._plant_tmp(root, age_s=0)
+        DiskCache(root, tmp_max_age=0)
+        assert not tmp.exists()
+
+    def test_clear_also_removes_tmp(self, tmp_path):
+        root = tmp_path / "c"
+        cache = DiskCache(root)
+        cache.put("artifacts", {"x": 1}, "a")
+        tmp = self._plant_tmp(root)
+        assert cache.clear() == 2
+        assert not tmp.exists()
+
+
 class TestRunnerIntegration:
     def test_warm_runner_skips_all_work(self, tmp_path):
         cache = DiskCache(tmp_path / "c")
@@ -127,7 +170,7 @@ class TestRunnerIntegration:
         runner = ExperimentRunner(instruction_scale=0.05, cache=cache)
         runner.run("pointer", SPEAR_128)
         key = cache.key_for("results",
-                            runner._result_payload("pointer", SPEAR_128))
+                            runner.result_payload("pointer", SPEAR_128))
         with open(cache.path_for("results", key), "rb") as fh:
             result = pickle.load(fh)
         assert result.workload == "pointer"

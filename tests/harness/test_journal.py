@@ -1,0 +1,118 @@
+"""Run journal: append/read round trip, run keys, resume bookkeeping."""
+
+import json
+
+from repro.core import BASELINE
+from repro.harness import (Cell, DiskCache, ExperimentRunner, RunJournal,
+                           cells_for, list_journals, run_cells)
+from repro.harness.journal import cell_key, run_key
+
+
+def _runner(scale=0.05, cache=None):
+    return ExperimentRunner(instruction_scale=scale, cache=cache)
+
+
+class TestRecords:
+    def test_append_and_read_round_trip(self, tmp_path):
+        j = RunJournal(tmp_path / "r.jsonl", experiment="figure6")
+        j.record_start(3)
+        j.record_cell(index=0, key="k0", workload="pointer",
+                      config="baseline", status="ok", attempts=1,
+                      elapsed=0.5)
+        j.record_cell(index=1, key="k1", workload="pointer",
+                      config="SPEAR-128", status="failed", attempts=3,
+                      kind="timeout", error="exceeded 5s")
+        j.record_end({"ok": 1, "failed": 1})
+        events = j.entries()
+        assert [e["event"] for e in events] == ["start", "cell", "cell",
+                                                "end"]
+        assert events[0]["experiment"] == "figure6"
+        assert events[2]["kind"] == "timeout"
+        assert events[3]["report"]["failed"] == 1
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        j = RunJournal(tmp_path / "r.jsonl")
+        j.record_start(1)
+        with j.path.open("a") as fh:
+            fh.write('{"event": "cell", "trunca')   # killed mid-append
+        assert [e["event"] for e in j.entries()] == ["start"]
+
+    def test_completed_keys_only_counts_ok(self, tmp_path):
+        j = RunJournal(tmp_path / "r.jsonl")
+        j.record_cell(index=0, key="a", workload="w", config="c",
+                      status="ok", attempts=1)
+        j.record_cell(index=1, key="b", workload="w", config="c",
+                      status="failed", attempts=3)
+        j.record_cell(index=2, key="c", workload="w", config="c",
+                      status="retried", attempts=1)
+        assert j.completed_keys() == {"a"}
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        j = RunJournal(tmp_path / "nope.jsonl")
+        assert j.entries() == [] and j.completed_keys() == set()
+
+
+class TestKeys:
+    def test_run_key_stable_and_distinct(self, tmp_path):
+        runner = _runner()
+        a = cells_for("figure6", ["pointer"])
+        assert run_key("figure6", a, runner) == run_key("figure6", a, runner)
+        assert (run_key("figure6", a, runner)
+                != run_key("figure6", cells_for("figure6", ["update"]),
+                           runner))
+        assert (run_key("figure6", a, runner)
+                != run_key("figure8", a, runner))
+
+    def test_cell_key_normalizes_latency_override(self):
+        runner = _runner()
+        plain = Cell("pointer", BASELINE)
+        noop = Cell("pointer", BASELINE, BASELINE.latencies)
+        assert cell_key(runner, plain) == cell_key(runner, noop)
+
+    def test_for_run_same_invocation_same_file(self, tmp_path):
+        runner = _runner()
+        cells = cells_for("figure6", ["pointer"])
+        a = RunJournal.for_run("figure6", cells, runner, root=tmp_path)
+        b = RunJournal.for_run("figure6", cells, runner, root=tmp_path)
+        assert a.path == b.path
+
+
+class TestResume:
+    def test_resume_skips_journaled_cells(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cells = cells_for("figure6", ["pointer"])
+        first = _runner(cache=cache)
+        journal = RunJournal.for_run("figure6", cells, first,
+                                     root=tmp_path / "j")
+        run_cells(first, cells, jobs=1, journal=journal)
+
+        second = _runner(cache=cache)
+        report = run_cells(second, cells, jobs=1, journal=journal,
+                           resume=True)
+        assert report.resumed == len(cells) and report.ok == 0
+        assert second.simulations == 0
+        assert second.has_result("pointer", BASELINE)
+
+    def test_resume_without_cache_recomputes(self, tmp_path):
+        cells = cells_for("figure6", ["pointer"])
+        first = _runner()
+        journal = RunJournal.for_run("figure6", cells, first,
+                                     root=tmp_path / "j")
+        run_cells(first, cells, jobs=1, journal=journal)
+
+        # A journaled ok without a cache to restore from must recompute.
+        second = _runner()
+        report = run_cells(second, cells, jobs=1, journal=journal,
+                           resume=True)
+        assert report.resumed == 0 and report.ok == len(cells)
+
+
+class TestListing:
+    def test_list_journals(self, tmp_path):
+        assert list_journals(tmp_path / "missing") == []
+        (tmp_path / "a.jsonl").write_text(
+            json.dumps({"event": "start"}) + "\n")
+        (tmp_path / "b.jsonl").write_text(
+            json.dumps({"event": "start"}) + "\n")
+        found = {j.run_id for j in list_journals(tmp_path)}
+        assert found == {"a", "b"}

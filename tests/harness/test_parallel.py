@@ -39,7 +39,8 @@ class TestSerialEquivalence:
     def test_run_cells_seeds_runner_memo(self):
         runner = ExperimentRunner(instruction_scale=0.05)
         cells = cells_for("figure6", ["pointer"])
-        assert run_cells(runner, cells, jobs=1) is runner
+        report = run_cells(runner, cells, jobs=1)
+        assert report.ok == len(cells) and report.completed
         assert runner.simulations == len(cells)
         # Seeded results short-circuit later runner.run calls.
         runner.run("pointer", BASELINE)
@@ -48,8 +49,16 @@ class TestSerialEquivalence:
     def test_duplicate_cells_deduped(self):
         runner = ExperimentRunner(instruction_scale=0.05)
         cell = Cell("pointer", BASELINE)
-        run_cells(runner, [cell, cell, cell], jobs=1)
+        report = run_cells(runner, [cell, cell, cell], jobs=1)
+        assert report.total == 1
         assert runner.simulations == 1
+
+    def test_memoized_cells_not_recounted(self):
+        runner = ExperimentRunner(instruction_scale=0.05)
+        cells = cells_for("figure6", ["pointer"])
+        run_cells(runner, cells, jobs=1)
+        again = run_cells(runner, cells, jobs=1)
+        assert again.total == 0 and again.ok == 0
 
     def test_build_artifacts_serial(self):
         runner = ExperimentRunner(instruction_scale=0.05)

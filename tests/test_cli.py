@@ -71,7 +71,9 @@ class TestAnalyze:
 class TestFiguresAndTables:
     def test_figure6_subset(self, capsys):
         assert main(["figure", "6", "pointer", *SCALE]) == 0
-        assert "Figure 6" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "run report:" in out
 
     def test_figure_unknown(self, capsys):
         assert main(["figure", "12", *SCALE]) == 2
@@ -90,3 +92,47 @@ class TestFiguresAndTables:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRobustnessFlags:
+    def test_resume_rerun_restores_from_journal(self, capsys):
+        assert main(["figure", "6", "pointer", *SCALE, "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["figure", "6", "pointer", *SCALE, "--jobs", "1",
+                     "--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_fail_fast_flag_accepted(self, capsys):
+        assert main(["figure", "6", "pointer", *SCALE, "--jobs", "1",
+                     "--fail-fast", "--retries", "0"]) == 0
+
+    def test_invalid_fault_spec_rejected(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "explode:everything")
+        assert main(["list"]) == 2
+        assert "REPRO_FAULTS" in capsys.readouterr().err
+
+    def test_keep_going_failure_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "fail:cell=0:times=0")
+        assert main(["figure", "6", "pointer", *SCALE, "--jobs", "1",
+                     "--retries", "0"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestJournalCommand:
+    def test_show_empty_dir(self, capsys):
+        assert main(["journal", "show"]) == 0
+        assert "no run journals" in capsys.readouterr().out
+
+    def test_list_and_dump_after_run(self, capsys):
+        assert main(["figure", "6", "pointer", *SCALE, "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(["journal", "show"]) == 0
+        listing = capsys.readouterr().out
+        assert "figure6" in listing
+        run_id = listing.splitlines()[-1].split()[0]
+        assert main(["journal", "show", run_id]) == 0
+        dump = capsys.readouterr().out
+        assert '"event": "start"' in dump and '"status": "ok"' in dump
+
+    def test_unknown_run_prefix(self, capsys):
+        assert main(["journal", "show", "zzzzzz"]) == 2
