@@ -18,6 +18,8 @@ any unreadable entry — truncated, corrupt, wrong pickle version — is
 treated as a miss and deleted, never an error.  ``*.tmp`` files a killed
 writer left behind are swept at startup once they are older than
 :attr:`DiskCache.TMP_MAX_AGE` (younger ones may belong to a live writer).
+The sweep walks the whole cache tree, so only the parent process runs it
+— pool workers construct their cache view with ``sweep=False``.
 """
 
 from __future__ import annotations
@@ -87,13 +89,14 @@ class DiskCache:
 
     def __init__(self, root: str | Path | None = None, *,
                  schema_version: int = SCHEMA_VERSION,
-                 tmp_max_age: float | None = None):
+                 tmp_max_age: float | None = None, sweep: bool = True):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.schema_version = schema_version
         self.counters: dict[str, CacheCounters] = {}
         self.tmp_max_age = (self.TMP_MAX_AGE if tmp_max_age is None
                             else tmp_max_age)
-        self._sweep_stale_tmp()
+        if sweep:
+            self._sweep_stale_tmp()
 
     # -- key/path plumbing -------------------------------------------------
 

@@ -29,10 +29,15 @@ def default_journal_dir() -> Path:
 
 
 def cell_key(runner, cell) -> str:
-    """Stable identity of one cell's result — the DiskCache key payload
-    for the (workload, normalized config) pair under this runner."""
+    """Stable identity of one cell's result — exactly the key the
+    runner's cache stores it under, so a journaled ``ok`` always names
+    the entry ``--resume`` verifies against (honoring a cache built with
+    a non-default ``schema_version``).  Without a cache, falls back to
+    the same derivation at the global :data:`SCHEMA_VERSION`."""
     config = runner.normalize_config(cell.config, cell.latencies)
     payload = runner.result_payload(cell.workload, config)
+    if getattr(runner, "cache", None) is not None:
+        return runner.cache.key_for("results", payload)
     return content_key({"schema": SCHEMA_VERSION, "kind": "results",
                         **payload})
 

@@ -16,10 +16,13 @@ Fault tolerance, governed by :class:`ExecutionPolicy`:
 
 - a cell attempt that raises is retried with exponential backoff up to
   ``retries`` extra attempts, then recorded as a :class:`CellFailure`;
-- a cell attempt exceeding ``cell_timeout`` seconds is abandoned (the
-  pool is torn down to reclaim the stuck worker) and retried;
+- a cell attempt running longer than ``cell_timeout`` seconds is
+  abandoned (the pool is torn down to reclaim the stuck worker) and
+  retried — the clock starts when the attempt is observed executing,
+  so time queued behind a full worker fleet never counts against it;
 - a dead worker (``BrokenProcessPool``) costs only the in-flight cells:
-  the pool is rebuilt and outstanding cells resubmitted, degrading to
+  the pool is rebuilt and outstanding cells resubmitted, charging the
+  rebuild budget rather than any cell's retry budget, and degrading to
   in-process serial execution after ``max_pool_rebuilds`` rebuilds;
 - with ``fail_fast`` a terminal failure raises :class:`FatalCellError`;
   otherwise (keep-going, the default) failures are collected on the
@@ -221,7 +224,10 @@ def _init_worker(slicer_config: SlicerConfig, scale: float,
                  cache_dir: str | None) -> None:
     global _WORKER_RUNNER
     faults.mark_worker()
-    cache = DiskCache(cache_dir) if cache_dir is not None else None
+    # The parent already swept stale tmp files; workers (respawned on
+    # every pool rebuild) skip the cache-tree walk.
+    cache = (DiskCache(cache_dir, sweep=False)
+             if cache_dir is not None else None)
     _WORKER_RUNNER = ExperimentRunner(slicer_config=slicer_config,
                                       instruction_scale=scale, cache=cache)
 
@@ -388,10 +394,14 @@ def _execute_pool(runner: ExperimentRunner, indexed, attempts: dict,
     """Pool generations: drain, rebuild on breakage/timeout, degrade to
     serial once the rebuild budget is spent."""
     outstanding = dict(indexed)
+    # Worker-side attempt numbering: counts every submission (including
+    # ones lost to a dead pool), so fault-injection ``times`` matching
+    # stays monotonic even though crashes don't charge the retry budget.
+    submits = {i: 0 for i in outstanding}
     workers = min(jobs, len(outstanding))
     while outstanding:
-        abandoned = _drain_pool(runner, outstanding, attempts, results,
-                                workers, policy, report, journal)
+        abandoned = _drain_pool(runner, outstanding, attempts, submits,
+                                results, workers, policy, report, journal)
         if not outstanding or not abandoned:
             return
         report.pool_rebuilds += 1
@@ -402,59 +412,96 @@ def _execute_pool(runner: ExperimentRunner, indexed, attempts: dict,
             return
 
 
+@dataclass
+class _InFlight:
+    """Parent-side bookkeeping for one submitted cell attempt."""
+
+    index: int
+    submitted: float
+    #: when the future was first observed executing (``fut.running()``).
+    #: The ``cell_timeout`` clock starts here — a cell queued behind a
+    #: full worker fleet accrues no wait time against its timeout.
+    started: float | None = None
+
+
 def _drain_pool(runner: ExperimentRunner, outstanding: dict, attempts: dict,
-                results: dict, workers: int, policy: ExecutionPolicy,
-                report: RunReport, journal: RunJournal | None) -> bool:
+                submits: dict, results: dict, workers: int,
+                policy: ExecutionPolicy, report: RunReport,
+                journal: RunJournal | None) -> bool:
     """Run one pool generation over every outstanding cell.
 
-    Submits each cell as its own future, harvests completions (retrying
-    plain worker exceptions in place) until the queue drains, a worker
-    dies (``BrokenProcessPool``) or a cell overruns ``cell_timeout``.
-    Returns True when the pool was abandoned and the caller should
-    rebuild; completed/terminally-failed cells leave ``outstanding``
-    either way, so a rebuild resubmits only what is left.
+    Submits each cell as its own future and harvests completions until
+    the queue drains, a worker dies (``BrokenProcessPool``) or a cell
+    overruns ``cell_timeout``.  Retries of plain worker exceptions are
+    resubmitted once their backoff deadline passes, without blocking the
+    harvest loop; the timeout clock starts when an attempt is first seen
+    executing, never while it waits in the submission queue.  Returns
+    True when the pool was abandoned and the caller should rebuild;
+    completed/terminally-failed cells leave ``outstanding`` either way,
+    so a rebuild resubmits only what is left.
     """
     pool = _pool(runner, min(workers, len(outstanding)))
-    pending: dict[Future, tuple[int, float]] = {}
+    pending: dict[Future, _InFlight] = {}
+    backoffs: dict[int, float] = {}   # index -> resubmit-not-before deadline
     abandon = True
+
+    def submit(i: int) -> None:
+        submits[i] += 1
+        fut = pool.submit(_run_cell, outstanding[i], i, submits[i])
+        pending[fut] = _InFlight(i, time.monotonic())
+
     try:
         for i in sorted(outstanding):
-            fut = pool.submit(_run_cell, outstanding[i], i, attempts[i] + 1)
-            pending[fut] = (i, time.monotonic())
+            submit(i)
         broken = False
-        while pending:
+        while pending or backoffs:
+            now = time.monotonic()
+            for i in [i for i, ready in backoffs.items() if ready <= now]:
+                del backoffs[i]
+                try:
+                    submit(i)
+                except Exception:
+                    return True
+            if not pending:
+                # Every remaining cell is backing off; nothing can
+                # complete until the earliest deadline.
+                time.sleep(max(0.0, min(backoffs.values())
+                               - time.monotonic()))
+                continue
             poll = None
             if policy.cell_timeout is not None:
                 poll = max(0.01, min(0.25, policy.cell_timeout / 4))
+            if backoffs:
+                until = max(0.001, min(backoffs.values()) - time.monotonic())
+                poll = until if poll is None else min(poll, until)
             done, _ = wait(list(pending), timeout=poll,
                            return_when=FIRST_COMPLETED)
             for fut in done:
-                i, started = pending.pop(fut)
+                meta = pending.pop(fut)
+                i = meta.index
                 cell = outstanding[i]
-                attempts[i] += 1
                 try:
                     result = fut.result()
                 except BrokenProcessPool:
-                    # Collateral or culprit — indistinguishable; both are
-                    # resubmitted by the next generation.
+                    # Collateral or culprit — indistinguishable, and
+                    # neither finished a real attempt: the crash charges
+                    # the rebuild budget, not the cell's retry budget.
                     broken = True
                 except Exception as exc:
+                    attempts[i] += 1
                     if _register_failure(runner, cell, i, attempts[i],
                                          "exception", exc, policy, report,
                                          journal):
-                        if not broken:
-                            time.sleep(policy.backoff_for(attempts[i] + 1))
-                            try:
-                                nfut = pool.submit(_run_cell, cell, i,
-                                                   attempts[i] + 1)
-                                pending[nfut] = (i, time.monotonic())
-                            except Exception:
-                                broken = True
+                        backoffs[i] = (time.monotonic()
+                                       + policy.backoff_for(attempts[i] + 1))
                     else:
                         del outstanding[i]
                 else:
+                    attempts[i] += 1
+                    t0 = (meta.started if meta.started is not None
+                          else meta.submitted)
                     _register_ok(runner, cell, i, attempts[i],
-                                 time.monotonic() - started, result,
+                                 time.monotonic() - t0, result,
                                  results, report, journal)
                     del outstanding[i]
             if broken:
@@ -462,11 +509,17 @@ def _drain_pool(runner: ExperimentRunner, outstanding: dict, attempts: dict,
             if policy.cell_timeout is None:
                 continue
             now = time.monotonic()
-            expired = [(fut, meta) for fut, meta in pending.items()
-                       if now - meta[1] > policy.cell_timeout]
+            expired = []
+            for fut, meta in pending.items():
+                if meta.started is None:
+                    if fut.running():
+                        meta.started = now
+                elif now - meta.started > policy.cell_timeout:
+                    expired.append((fut, meta))
             if not expired:
                 continue
-            for fut, (i, _started) in expired:
+            for fut, meta in expired:
+                i = meta.index
                 pending.pop(fut)
                 fut.cancel()
                 attempts[i] += 1

@@ -135,6 +135,15 @@ class TestTmpSweep:
         DiskCache(root, tmp_max_age=0)
         assert not tmp.exists()
 
+    def test_sweep_opt_out_for_workers(self, tmp_path):
+        # Pool workers (respawned every rebuild) skip the cache-tree
+        # walk; the parent's constructor already swept.
+        root = tmp_path / "c"
+        tmp = self._plant_tmp(root, age_s=7200)
+        cache = DiskCache(root, sweep=False)
+        assert tmp.exists()
+        assert "results" not in cache.counters
+
     def test_clear_also_removes_tmp(self, tmp_path):
         root = tmp_path / "c"
         cache = DiskCache(root)

@@ -69,6 +69,19 @@ class TestKeys:
         noop = Cell("pointer", BASELINE, BASELINE.latencies)
         assert cell_key(runner, plain) == cell_key(runner, noop)
 
+    def test_cell_key_matches_cache_key_derivation(self, tmp_path):
+        # The journal key must be exactly the key --resume's cache
+        # lookup uses — including a cache built with a non-default
+        # schema_version; the global-constant fallback applies only
+        # when no cache is attached.
+        cache = DiskCache(tmp_path / "c", schema_version=7)
+        runner = _runner(cache=cache)
+        cell = Cell("pointer", BASELINE)
+        config = runner.normalize_config(cell.config, cell.latencies)
+        payload = runner.result_payload(cell.workload, config)
+        assert cell_key(runner, cell) == cache.key_for("results", payload)
+        assert cell_key(_runner(), cell) != cell_key(runner, cell)
+
     def test_for_run_same_invocation_same_file(self, tmp_path):
         runner = _runner()
         cells = cells_for("figure6", ["pointer"])

@@ -55,6 +55,30 @@ class TestCrashRecovery:
         assert not runner.has_result("pointer", SPEAR_128)
 
 
+    def test_crash_does_not_consume_retry_budget(self, monkeypatch):
+        # Cell 1's worker is hard-killed on attempt 1 and raises a plain
+        # fault on attempt 2.  The crash must charge only the rebuild
+        # budget, leaving the single retry free to absorb the real
+        # exception — previously the BrokenProcessPool burned it.
+        monkeypatch.setenv("REPRO_FAULTS", "crash:cell=1,fail:cell=1:times=2")
+        runner = _runner()
+        report = run_cells(runner, _cells(), jobs=2,
+                           policy=ExecutionPolicy(retries=1, backoff=0))
+        assert report.completed and report.ok == 3
+        assert report.pool_rebuilds >= 1
+        assert report.retried == 1
+
+    def test_pool_retry_after_backoff_completes(self, monkeypatch):
+        # Retries are resubmitted by the harvest loop once their backoff
+        # deadline passes (no blocking sleep in the parent).
+        monkeypatch.setenv("REPRO_FAULTS", "fail:cell=0")
+        runner = _runner()
+        report = run_cells(runner, _cells(), jobs=2,
+                           policy=ExecutionPolicy(backoff=0.2))
+        assert report.completed and report.ok == 3
+        assert report.retried == 1
+
+
 class TestTimeout:
     def test_timeout_fires_and_retry_succeeds(self, monkeypatch):
         # Cell 0 sleeps far past the timeout on attempt 1 only; the
@@ -67,6 +91,20 @@ class TestTimeout:
         assert report.completed and report.ok == 3
         assert report.timeouts >= 1
         assert report.retried >= 1
+
+    def test_queue_wait_does_not_count_against_timeout(self, monkeypatch):
+        # Every attempt sleeps ~1.2s and two workers serve three cells,
+        # so the queued third cell waits longer than cell_timeout before
+        # it even starts executing.  The timeout clock must start at
+        # execution, not submission: with retries=0 a false expiry would
+        # be a terminal failure.
+        monkeypatch.setenv("REPRO_FAULTS", "delay:ms=1200:times=0")
+        runner = _runner()
+        report = run_cells(
+            runner, _cells(), jobs=2,
+            policy=ExecutionPolicy(cell_timeout=2.5, retries=0, backoff=0))
+        assert report.completed and report.ok == 3
+        assert report.timeouts == 0 and report.retried == 0
 
     def test_timeout_exhaustion_is_terminal_failure(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "delay:cell=0:ms=30000:times=0")
