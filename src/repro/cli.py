@@ -9,6 +9,10 @@ disasm WORKLOAD      disassemble a workload's binary, annotating p-threads
 run WORKLOAD         simulate one workload under one machine model
 compare WORKLOAD     baseline vs all SPEAR models on one workload
 analyze WORKLOAD     trigger-point timeliness analysis of the p-threads
+                     (``--timeline`` renders the traced interval series
+                     and fill-timeliness breakdown instead)
+trace WORKLOAD       dump a run's event stream as JSONL (filter with
+                     ``--kinds``, ``--cycles LO:HI``, ``--thread``)
 figure {6,7,8,9}     regenerate a figure of the paper
 table {1,2,3}        regenerate a table of the paper
 bench                time compile/trace/simulate phases, write BENCH json
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -37,6 +42,7 @@ from .harness import (Cell, DiskCache, ExecutionPolicy, ExperimentRunner,
                       default_workloads, figure6, figure7, figure8, figure9,
                       list_journals, run_cells, table1, table2, table3)
 from .harness.faults import FAULTS_ENV, FaultSpecError, active_faults
+from .observe import EVENT_KINDS, filter_events
 from .workloads import all_workload_names, get_workload
 
 
@@ -45,16 +51,20 @@ def _add_scale(p: argparse.ArgumentParser) -> None:
                    help="scale every instruction budget (default 1.0)")
 
 
-def _add_perf(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--jobs", "-j", type=int, default=None,
-                   help="worker processes for the cell matrix "
-                        "(default: CPU count; 1 = exact serial path)")
+def _add_cache(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="persistent artifact cache location "
                         "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the persistent artifact cache")
     p.set_defaults(use_cache=True)
+
+
+def _add_perf(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker processes for the cell matrix "
+                        "(default: CPU count; 1 = exact serial path)")
+    _add_cache(p)
     p.add_argument("--cell-timeout", type=float, default=None,
                    metavar="SECONDS",
                    help="abandon and retry a cell attempt after this long "
@@ -200,7 +210,17 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _lookup_config(name: str):
+    config = PAPER_CONFIGS.get(name)
+    if config is None:
+        print(f"unknown config {name!r}; known: {sorted(PAPER_CONFIGS)}",
+              file=sys.stderr)
+    return config
+
+
 def cmd_analyze(args) -> int:
+    if args.timeline:
+        return _analyze_timeline(args)
     from .compiler import (CFG, analyze_triggers, profile_trace,
                            render_trigger_analysis)
     from .functional import run_program
@@ -212,6 +232,80 @@ def cmd_analyze(args) -> int:
         run_program(art.binary.program, max_instructions=budget), cfg)
     print(render_trigger_analysis(
         analyze_triggers(cfg, profile, art.binary.table)))
+    return 0
+
+
+def _analyze_timeline(args) -> int:
+    """``analyze --timeline``: traced interval series + fill timeliness."""
+    from .harness import TextTable
+    config = _lookup_config(args.config)
+    if config is None:
+        return 2
+    runner = _runner(args)
+    traced = runner.run_traced(args.workload, config, interval=args.interval)
+    tl = traced.result.timeline
+    t = TextTable(
+        f"{args.workload} / {config.name} — per-{tl['interval']}-cycle "
+        f"timeline",
+        ["cycle", "ipc", "ifq", "ruu", "mode_pct", "l1_miss_pct"])
+    for s in tl["samples"]:
+        t.add_row(s["cycle"], round(s["ipc"], 3),
+                  round(s["avg_ifq_occupancy"], 1),
+                  round(s["avg_ruu_occupancy"], 1),
+                  round(s["mode_residency"] * 100, 1),
+                  round(s["l1_miss_rate"] * 100, 1))
+    for source, f in traced.result.memory["fills"].items():
+        if not f["attempts"]:
+            continue
+        t.add_footer(
+            f"{source} fills: {f['fills']} "
+            f"(timely {f['timely']}, late {f['late']}, "
+            f"unused {f['unused']}; redundant attempts {f['redundant']})")
+    t.add_footer(f"events: {traced.emitted} emitted, "
+                 f"{traced.dropped} dropped by the ring buffer")
+    print(t.render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = _lookup_config(args.config)
+    if config is None:
+        return 2
+    kinds = None
+    if args.kinds:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        bad = sorted(set(kinds) - set(EVENT_KINDS))
+        if bad:
+            print(f"unknown event kind(s) {', '.join(bad)}; known: "
+                  f"{', '.join(EVENT_KINDS)}", file=sys.stderr)
+            return 2
+    cycle_range = None
+    if args.cycles:
+        try:
+            lo, _, hi = args.cycles.partition(":")
+            cycle_range = (int(lo or 0), int(hi) if hi else sys.maxsize)
+        except ValueError:
+            print(f"bad --cycles {args.cycles!r}; expected LO:HI",
+                  file=sys.stderr)
+            return 2
+    runner = _runner(args)
+    # Capture unfiltered so one cached trace serves every filter; the
+    # view below narrows it for display.
+    traced = runner.run_traced(args.workload, config, interval=args.interval,
+                               capacity=args.capacity or None)
+    events = filter_events(traced.events, kinds=kinds,
+                           cycle_range=cycle_range, thread=args.thread)
+    out = open(args.output, "w", encoding="utf-8") if args.output \
+        else sys.stdout
+    try:
+        for e in events:
+            out.write(e.to_json() + "\n")
+    finally:
+        if args.output:
+            out.close()
+    print(f"{len(events)} events shown of {len(traced.events)} retained "
+          f"({traced.emitted} emitted, {traced.dropped} dropped by the "
+          f"ring buffer)", file=sys.stderr)
     return 0
 
 
@@ -359,8 +453,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="trigger-point timeliness analysis")
     p.add_argument("workload")
+    p.add_argument("--timeline", action="store_true",
+                   help="render the traced interval time series and fill "
+                        "timeliness instead of the trigger-point analysis")
+    p.add_argument("--config", default="SPEAR-128",
+                   help="machine model for --timeline (default SPEAR-128)")
+    p.add_argument("--interval", type=int, default=1000,
+                   help="sampling interval in cycles for --timeline "
+                        "(default 1000)")
     _add_scale(p)
+    _add_cache(p)
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "trace", help="dump one traced run's event stream as JSONL")
+    p.add_argument("workload")
+    p.add_argument("--config", default="SPEAR-128",
+                   help="machine model (default SPEAR-128)")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated event kinds to keep "
+                        f"({', '.join(EVENT_KINDS)})")
+    p.add_argument("--cycles", default=None, metavar="LO:HI",
+                   help="inclusive cycle range to keep (either end optional)")
+    p.add_argument("--thread", type=int, default=None,
+                   help="keep one thread only (0 = main, 1 = p-thread)")
+    p.add_argument("--interval", type=int, default=1000,
+                   help="timeline sampling interval (default 1000)")
+    p.add_argument("--capacity", type=int, default=0,
+                   help="ring-buffer capacity in events; 0 keeps everything "
+                        "(default: keep everything, so filters see the "
+                        "whole run)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the JSONL here instead of stdout")
+    _add_scale(p)
+    _add_cache(p)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int)
@@ -391,8 +518,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workloads", nargs="*")
     p.add_argument("--quick", action="store_true",
                    help="smoke mode: cap --scale at 0.05 (<60 s)")
-    p.add_argument("-o", "--output", default="BENCH_pr1.json",
-                   help="report path (default BENCH_pr1.json)")
+    p.add_argument("-o", "--output", default="BENCH_pr3.json",
+                   help="report path (default BENCH_pr3.json)")
     p.add_argument("--reference",
                    help="JSON report from an older commit to compare against")
     _add_scale(p)
@@ -409,7 +536,16 @@ def main(argv: list[str] | None = None) -> int:
     except FaultSpecError as exc:
         print(f"invalid {FAULTS_ENV}: {exc}", file=sys.stderr)
         return 2
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream reader (head, jq) closed the pipe early — routine
+        # for stream-oriented commands like `trace`, not an error.  Point
+        # stdout at devnull so the interpreter's shutdown flush doesn't
+        # raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

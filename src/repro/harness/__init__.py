@@ -7,9 +7,9 @@ from .diskcache import CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache, \
     default_cache_dir
 from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
                           LatencySweepResult, MissReductionResult,
-                          REGULAR_WORKLOADS, SpeedupResult, figure6, figure7,
-                          figure8, figure9, motivation, table1, table2,
-                          table3)
+                          REGULAR_WORKLOADS, SpeedupResult, TimelinessResult,
+                          figure6, figure7, figure8, figure9, motivation,
+                          table1, table2, table3, timeliness)
 from .faults import (FAULTS_ENV, FaultClause, FaultSpecError, InjectedCrash,
                      InjectedFault, active_faults, parse_faults,
                      render_faults)
@@ -17,14 +17,15 @@ from .journal import RunJournal, default_journal_dir, list_journals
 from .parallel import (Cell, CellFailure, ExecutionPolicy, FatalCellError,
                        RunReport, build_artifacts, cells_for,
                        default_jobs, default_workloads, run_cells)
-from .runner import ExperimentRunner, WorkloadArtifacts
+from .runner import ExperimentRunner, TracedRun, WorkloadArtifacts
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
 __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "REGULAR_WORKLOADS", "motivation", "LatencySweepResult",
            "MissReductionResult", "SpeedupResult", "figure6", "figure7",
            "figure8", "figure9", "table1", "table2", "table3",
-           "ExperimentRunner", "WorkloadArtifacts", "TextTable",
+           "timeliness", "TimelinessResult",
+           "ExperimentRunner", "TracedRun", "WorkloadArtifacts", "TextTable",
            "arithmetic_mean", "geometric_mean",
            "CACHE_DIR_ENV", "SCHEMA_VERSION", "DiskCache",
            "default_cache_dir", "Cell", "build_artifacts", "cells_for",

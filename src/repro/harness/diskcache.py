@@ -37,7 +37,9 @@ from .faults import corrupt_cache_bytes
 
 #: Bump whenever a change to the compiler, functional simulator or timing
 #: model alters what cached artifacts/results would contain.
-SCHEMA_VERSION = 1
+#: 2: PipelineResult gained ``timeline``, PipelineStats ``decode_pe_busy``,
+#: memory snapshots the ``fills`` timeliness section.
+SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -77,8 +79,8 @@ class CacheCounters:
 class DiskCache:
     """Content-addressed pickle store with per-kind hit/miss counters.
 
-    ``kind`` namespaces the store (``"artifacts"``, ``"results"``) so the
-    same key payload can back different value types.
+    ``kind`` namespaces the store (``"artifacts"``, ``"results"``,
+    ``"traces"``) so the same key payload can back different value types.
     """
 
     #: Seconds a ``*.tmp`` file must be old before the startup sweep

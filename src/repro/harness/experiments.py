@@ -302,3 +302,56 @@ def motivation(runner: ExperimentRunner,
     configs = [BASELINE, BASELINE_NEXTLINE, BASELINE_STRIDE, SPEAR_128]
     return _speedups(runner, configs,
                      workloads or REGULAR_WORKLOADS + IRREGULAR_WORKLOADS)
+
+
+# ---------------------------------------------------------------------------
+# Fill timeliness — where the miss reductions actually come from
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TimelinessResult:
+    """Per-(workload, config) timeliness of speculative fills.
+
+    Complements Figure 8: the same miss-count reduction can come from
+    all-timely fills (latency fully hidden) or mostly-late ones (partially
+    hidden), and the paper's aggregate metrics cannot tell them apart."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    def table(self) -> TextTable:
+        t = TextTable(
+            "Speculative fill timeliness (p-thread and prefetcher)",
+            ["workload", "config", "source", "fills", "timely", "late",
+             "unused", "redundant", "timely_pct"])
+        for r in self.rows:
+            t.add_row(r["workload"], r["config"], r["source"], r["fills"],
+                      r["timely"], r["late"], r["unused"], r["redundant"],
+                      r["timely_pct"])
+        return t
+
+
+def timeliness(runner: ExperimentRunner,
+               workloads: list[str] | None = None,
+               configs: list[MachineConfig] | None = None
+               ) -> TimelinessResult:
+    """Classify every speculative fill of each (workload, config) cell.
+
+    Reads the ``fills`` section the hierarchy snapshot attaches to every
+    result, so cells already simulated for the figures are reused as-is."""
+    result = TimelinessResult()
+    for name in workloads or EVAL_WORKLOADS:
+        for cfg in configs or [SPEAR_128, SPEAR_256]:
+            fills = runner.run(name, cfg).memory["fills"]
+            for source in ("pthread", "prefetch"):
+                f = fills[source]
+                if not f["attempts"]:
+                    continue
+                result.rows.append({
+                    "workload": name, "config": cfg.name, "source": source,
+                    "fills": f["fills"], "timely": f["timely"],
+                    "late": f["late"], "unused": f["unused"],
+                    "redundant": f["redundant"],
+                    "timely_pct": (f["timely"] / f["fills"] * 100
+                                   if f["fills"] else 0.0),
+                })
+    return result

@@ -26,10 +26,28 @@ from ..core.spear_binary import SpearBinary
 from ..functional.simulator import FunctionalSimulator
 from ..functional.trace import Trace
 from ..memory.hierarchy import LatencyConfig, MemoryHierarchy
+from ..observe.events import TraceEvent
+from ..observe.sampler import IntervalSampler
+from ..observe.sinks import RingBufferSink
 from ..pipeline.smt import TimingSimulator
 from ..pipeline.stats import PipelineResult
 from ..workloads.base import Workload, get_workload
 from .diskcache import DiskCache
+
+
+@dataclass
+class TracedRun:
+    """One observed simulation: the result plus its event stream.
+
+    ``result`` carries the interval timeline; ``events`` are the retained
+    ring-buffer contents (newest ``capacity`` events — ``dropped`` says
+    how many older ones the ring displaced, so truncation is explicit).
+    """
+
+    result: PipelineResult
+    events: list[TraceEvent]
+    emitted: int
+    dropped: int
 
 
 @dataclass
@@ -59,6 +77,9 @@ class ExperimentRunner:
         self.cache = cache
         self._artifacts: dict[str, WorkloadArtifacts] = {}
         self._results: dict[tuple, PipelineResult] = {}
+        #: traced runs memoize separately: their results carry timelines
+        #: and must never masquerade as plain "results" cache entries.
+        self._traced: dict[tuple, TracedRun] = {}
         #: artifact builds actually executed (cache hits don't count)
         self.builds = 0
         #: timing simulations actually executed (memo/cache hits don't count)
@@ -148,6 +169,45 @@ class ExperimentRunner:
             self._results[key] = result
         return result
 
+    def run_traced(self, name: str, config: MachineConfig,
+                   latencies: LatencyConfig | None = None, *,
+                   interval: int = 1000, capacity: int | None = 65536,
+                   kinds: tuple[str, ...] | None = None) -> TracedRun:
+        """Simulate one cell with tracing and interval sampling attached.
+
+        Traced runs are cached under their own kind ("traces") with the
+        trace parameters folded into the key, so they coexist with — and
+        never pollute — the plain "results" entries the figures, journal
+        and parallel engine consume.
+        """
+        config = self.normalize_config(config, latencies)
+        kinds = tuple(sorted(kinds)) if kinds is not None else None
+        key = (name, config, interval, capacity, kinds)
+        traced = self._traced.get(key)
+        if traced is None:
+            payload = self.result_payload(name, config)
+            payload["trace"] = {"interval": interval, "capacity": capacity,
+                                "kinds": list(kinds) if kinds else None}
+            if self.cache is not None:
+                traced = self.cache.get("traces", payload)
+            if traced is None:
+                art = self.artifacts(name)
+                sink = RingBufferSink(capacity, kinds=kinds)
+                sampler = IntervalSampler(interval)
+                memory = MemoryHierarchy(latencies=config.latencies)
+                sim = TimingSimulator(art.eval_trace, config,
+                                      art.binary.table, memory,
+                                      warmup=art.warmup_trace,
+                                      tracer=sink, sampler=sampler)
+                result = sim.run()
+                self.simulations += 1
+                traced = TracedRun(result, sink.events(), sink.emitted,
+                                   sink.dropped)
+                if self.cache is not None:
+                    self.cache.put("traces", payload, traced)
+            self._traced[key] = traced
+        return traced
+
     def seed_result(self, name: str, config: MachineConfig,
                     latencies: LatencyConfig | None,
                     result: PipelineResult) -> None:
@@ -181,5 +241,6 @@ class ExperimentRunner:
         runner reports as if freshly constructed."""
         self._artifacts.clear()
         self._results.clear()
+        self._traced.clear()
         self.builds = 0
         self.simulations = 0

@@ -1,0 +1,19 @@
+"""Pipeline observability: structured trace events, sinks and the
+interval sampler feeding ``repro trace`` / ``repro analyze --timeline``.
+
+The timing model emits events only when a sink is attached (the
+tracer-is-None fast path keeps the instrumented hot loop at its
+uninstrumented speed), so observability is strictly opt-in.
+"""
+
+from .events import (COMMIT, COMPLETE, DECODE, EVENT_KINDS, EXTRACT, FETCH,
+                     FILL, ISSUE, MISPREDICT, MODE, MODE_NAMES, PREFETCH,
+                     TraceEvent, filter_events, serialize_events)
+from .sampler import IntervalSampler
+from .sinks import JsonlStreamSink, RingBufferSink, TraceSink
+
+__all__ = ["TraceEvent", "EVENT_KINDS", "MODE_NAMES", "filter_events",
+           "serialize_events", "FETCH", "DECODE", "ISSUE", "COMPLETE",
+           "COMMIT", "MISPREDICT", "MODE", "EXTRACT", "PREFETCH", "FILL",
+           "IntervalSampler", "JsonlStreamSink", "RingBufferSink",
+           "TraceSink"]

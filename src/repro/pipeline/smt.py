@@ -35,6 +35,11 @@ from ..core.pthread import PThreadTable
 from ..functional.trace import Trace
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.prefetcher import make_prefetcher
+from ..observe.events import (COMMIT, COMPLETE, DECODE, EXTRACT, FETCH, FILL,
+                              ISSUE, MISPREDICT, MODE, MODE_NAMES, PREFETCH,
+                              TraceEvent)
+from ..observe.sampler import IntervalSampler
+from ..observe.sinks import TraceSink
 from .dyninst import DynInstr, MAIN_THREAD, P_THREAD
 from .funits import FUPool
 from .ifq import IFQSlot, InstructionFetchQueue
@@ -53,9 +58,15 @@ class TimingSimulator:
     def __init__(self, trace: Trace, config: MachineConfig,
                  table: PThreadTable | None = None,
                  memory: MemoryHierarchy | None = None,
-                 warmup: Trace | list | None = None):
+                 warmup: Trace | list | None = None,
+                 tracer: TraceSink | None = None,
+                 sampler: IntervalSampler | None = None):
         self.trace = trace
         self.config = config
+        #: observability hooks — every emit site checks ``is not None``
+        #: first, so an untraced run pays one predictable branch per site.
+        self._tracer = tracer
+        self._sampler = sampler
         self.table = table if (table is not None and config.spear_enabled) \
             else PThreadTable.empty()
         self.mem = memory or MemoryHierarchy(latencies=config.latencies)
@@ -171,6 +182,7 @@ class TimingSimulator:
         ifq_size = ifq.size
         marked_queue = ifq.marked_queue
         spear = cfg.spear_enabled
+        chaining = cfg.chaining
         trigger_occ = self._trigger_occ
         entries = self._entries
         marked_flags = self._marked_flags
@@ -179,6 +191,12 @@ class TimingSimulator:
         store_map = self._store_map
         main_ready = self._main_ready
         predict_and_update = self.predictor.predict_and_update
+        tracer = self._tracer
+        trace_on = tracer is not None   # plain-bool guard: cheapest test
+        sampler = self._sampler
+        sampling = sampler is not None
+        sample_interval = sampler.interval if sampling else 0
+        main_ts = self.mem.thread_stats[MAIN_THREAD]
         ifq_occ_sum = 0
         ruu_occ_sum = 0
         mode_cycles = 0
@@ -199,7 +217,11 @@ class TimingSimulator:
             if mode != _IDLE:
                 self._spear_mode_tick()
                 mode = self._mode
-            elif spear and marked_queue and len(ifq_slots) >= trigger_occ:
+            elif spear and marked_queue and (chaining
+                                             or len(ifq_slots) >= trigger_occ):
+                # With chaining triggers the occupancy requirement is waived
+                # (see _try_retrigger), so the fast-path guard must not
+                # swallow low-occupancy retriggers under that config.
                 self._try_retrigger()
                 mode = self._mode
             if self._pt_ready or main_ready:
@@ -256,12 +278,19 @@ class TimingSimulator:
                         store_map[entry.addr >> 3] = instr
                     rob.append(instr)
                     decoded_total += 1
+                    if trace_on:
+                        tracer.emit(TraceEvent(cycle, DECODE, MAIN_THREAD,
+                                               entry.pc, slot.trace_idx))
                     if instr.deps == 0:
                         main_ready.append(instr)
                     budget -= 1
                 self._next_seq = next_seq
-            elif extracted < decode_width:
+            elif extracted == 0:
                 stats.decode_stall_empty_ifq += 1
+            else:
+                # The decode budget went to PE extraction this cycle; the
+                # empty IFQ is not what stalled the main thread.
+                stats.decode_pe_busy += 1
 
             # ---- fetch / pre-decode (inlined _fetch) ---------------------
             if self._await_branch_idx >= 0:
@@ -292,6 +321,9 @@ class TimingSimulator:
                     ifq_slots.append(slot)
                     if slot.marked:
                         marked_queue.append(slot)
+                    if trace_on:
+                        tracer.emit(TraceEvent(cycle, FETCH, MAIN_THREAD,
+                                               entry.pc, idx))
                     idx += 1
                     fetched += 1
 
@@ -310,6 +342,11 @@ class TimingSimulator:
                         if not correct:
                             stats.mispredicts += 1
                             self._await_branch_idx = idx - 1
+                            if tracer is not None:
+                                tracer.emit(TraceEvent(
+                                    cycle, MISPREDICT, MAIN_THREAD, entry.pc,
+                                    idx - 1, "taken" if entry.taken else
+                                    "not-taken"))
                             if wp_mode == "reconverge":
                                 self._barrier_seq = slot.seq
                                 self._wrong_path_real = 0
@@ -327,6 +364,15 @@ class TimingSimulator:
             if self._mode != _IDLE:
                 mode_cycles += 1
             self._cycle = cycle + 1
+            if sampling and (cycle + 1) % sample_interval == 0:
+                sampler.take(cycle + 1, self._committed, ifq_occ_sum,
+                             ruu_occ_sum, mode_cycles, main_ts.accesses,
+                             main_ts.l1_misses)
+        if sampler is not None:
+            # Partial tail interval (no-op if the run ended on a boundary).
+            sampler.take(self._cycle, self._committed, ifq_occ_sum,
+                         ruu_occ_sum, mode_cycles, main_ts.accesses,
+                         main_ts.l1_misses)
         stats.ifq_occupancy_sum += ifq_occ_sum
         stats.ruu_occupancy_sum += ruu_occ_sum
         stats.decoded += decoded_total
@@ -341,7 +387,8 @@ class TimingSimulator:
             predictor={"hit_ratio": self.predictor.stats.hit_ratio,
                        "lookups": self.predictor.stats.lookups},
             prefetcher=self.prefetcher.stats.snapshot(),
-            workload=self.trace.program_name)
+            workload=self.trace.program_name,
+            timeline=sampler.timeline() if sampler is not None else None)
 
     # ------------------------------------------------------------------
     # Completion / wakeup
@@ -352,6 +399,14 @@ class TimingSimulator:
         (the run loop pops the event list and skips the call when empty)."""
         main_ready = self._main_ready
         pt_ready = self._pt_ready
+        tracer = self._tracer
+        if tracer is not None:
+            # Pre-pass keeps the completion loop itself branch-free for
+            # the (default) untraced run.
+            cycle = self._cycle
+            for instr in finished:
+                tracer.emit(TraceEvent(cycle, COMPLETE, instr.thread,
+                                       instr.entry.pc, instr.trace_idx))
         for instr in finished:
             instr.done = True
             for cons in instr.consumers:
@@ -387,9 +442,14 @@ class TimingSimulator:
         budget = self.config.commit_width
         last_writer = self._last_writer
         store_map = self._store_map
+        tracer = self._tracer
+        cycle = self._cycle
         while budget and rob and rob[0].done:
             instr = rob.popleft()
             e = instr.entry
+            if tracer is not None:
+                tracer.emit(TraceEvent(cycle, COMMIT, MAIN_THREAD, e.pc,
+                                       instr.trace_idx))
             if e.dst >= 0 and last_writer.get(e.dst) is instr:
                 del last_writer[e.dst]
             if e.is_store:
@@ -404,16 +464,13 @@ class TimingSimulator:
     # ------------------------------------------------------------------
 
     def _spear_mode_tick(self) -> None:
-        if self._mode == _IDLE:
-            # Dormant d-loads (suppressed at pre-decode because the IFQ was
-            # shallow) wake up once occupancy reaches the threshold — the
-            # PD keeps seeing their indicator bits in the IFQ.
-            if (self.config.spear_enabled and self.ifq.marked_queue
-                    and self.ifq.occupancy >= self._trigger_occ):
-                self._try_retrigger()
-        elif self._mode == _DRAIN:
+        # Only called with a mode in flight: the run loop routes idle-time
+        # dormant-d-load wakeups straight to _try_retrigger.
+        if self._mode == _DRAIN:
             if self._drain_satisfied():
                 self._mode = _COPY
+                if self._tracer is not None:
+                    self._emit_mode(_DRAIN, _COPY)
                 if self._copy_remaining == 0:
                     self._begin_active()
             else:
@@ -424,8 +481,15 @@ class TimingSimulator:
             if self._copy_remaining <= 0:
                 self._begin_active()
 
+    def _emit_mode(self, old: int, new: int) -> None:
+        self._tracer.emit(TraceEvent(
+            self._cycle, MODE, -1, -1, -1,
+            f"{MODE_NAMES[old]}->{MODE_NAMES[new]}"))
+
     def _begin_active(self) -> None:
         self._mode = _ACTIVE
+        if self._tracer is not None:
+            self._emit_mode(_COPY, _ACTIVE)
         # Live-in semantics: the p-thread starts from the main thread's
         # architectural register state.  Any register whose main-thread
         # producer is still in flight is not copyable yet, so chain-starting
@@ -456,6 +520,8 @@ class TimingSimulator:
         pc = self._entries[trace_idx].pc
         pthread = self.table[pc]
         self._mode = _DRAIN
+        if self._tracer is not None:
+            self._emit_mode(_IDLE, _DRAIN)
         self._trigger_trace_idx = trace_idx
         self._trigger_extracted = False
         self._drain_seq = self._main_rob[-1].seq if self._main_rob else -1
@@ -470,8 +536,11 @@ class TimingSimulator:
         self.stats.spear.triggers += 1
 
     def _end_mode(self) -> None:
+        old = self._mode
         self._mode = _IDLE
         self._trigger_trace_idx = -1
+        if self._tracer is not None:
+            self._emit_mode(old, _IDLE)
         self._try_retrigger()
 
     def _try_retrigger(self) -> None:
@@ -557,6 +626,10 @@ class TimingSimulator:
             ptlw[entry.dst] = instr
         if trace_idx == self._trigger_trace_idx:
             instr.is_trigger_dload = True
+        if self._tracer is not None:
+            self._tracer.emit(TraceEvent(
+                self._cycle, EXTRACT, P_THREAD, entry.pc, trace_idx,
+                "trigger" if instr.is_trigger_dload else ""))
         self._pt_inflight += 1
         sstats = self.stats.spear
         sstats.pthread_instrs += 1
@@ -609,6 +682,8 @@ class TimingSimulator:
         stats = self.stats
         take = pool.take
         prefetch_active = self._prefetch_active
+        tracer = self._tracer
+        trace_on = tracer is not None
         for idx, instr in enumerate(ready):
             if issued >= budget:
                 leftovers.extend(ready[idx:])
@@ -625,16 +700,34 @@ class TimingSimulator:
             if e.is_load:
                 lat = mem.access(e.addr, thread=instr.thread, now=cycle)
                 comp = cycle + (lat if lat > 1 else 1)
+                if trace_on:
+                    tracer.emit(TraceEvent(cycle, ISSUE, instr.thread, e.pc,
+                                           instr.trace_idx, f"load:{lat}"))
                 if prefetch_active and instr.thread == MAIN_THREAD:
                     for target in self.prefetcher.observe(
                             e.pc, e.addr, lat > mem.latencies.l1):
-                        mem.prefetch(target, now=cycle)
+                        if trace_on:
+                            tracer.emit(TraceEvent(
+                                cycle, PREFETCH, MAIN_THREAD, e.pc,
+                                instr.trace_idx, f"{target:#x}"))
+                        if mem.prefetch(target, now=cycle):
+                            self.prefetcher.stats.useful_hint += 1
+                            if trace_on:
+                                tracer.emit(TraceEvent(
+                                    cycle, FILL, MAIN_THREAD, e.pc,
+                                    instr.trace_idx, f"{target:#x}"))
             elif e.is_store:
                 mem.access(e.addr, is_write=True, thread=instr.thread,
                            now=cycle)
                 comp = cycle + 1
+                if trace_on:
+                    tracer.emit(TraceEvent(cycle, ISSUE, instr.thread, e.pc,
+                                           instr.trace_idx, "store"))
             else:
                 comp = cycle + OP_LATENCY[e.op_class]
+                if trace_on:
+                    tracer.emit(TraceEvent(cycle, ISSUE, instr.thread, e.pc,
+                                           instr.trace_idx))
             instr.issued = True
             instr.completion_cycle = comp
             lst = events.get(comp)
@@ -690,6 +783,9 @@ class TimingSimulator:
             is_dload = dload_flags[idx]
             slot = ifq.push(idx, marked=marked_flags[idx] != 0,
                             is_dload=is_dload != 0)
+            if self._tracer is not None:
+                self._tracer.emit(TraceEvent(self._cycle, FETCH, MAIN_THREAD,
+                                             entry.pc, idx, "wrong-path"))
             self._fetch_idx += 1
             fetched += 1
             stats.wrong_path_fetched += 1
@@ -708,6 +804,9 @@ class TimingSimulator:
 
 def simulate(trace: Trace, config: MachineConfig,
              table: PThreadTable | None = None,
-             memory: MemoryHierarchy | None = None) -> PipelineResult:
+             memory: MemoryHierarchy | None = None,
+             tracer: TraceSink | None = None,
+             sampler: IntervalSampler | None = None) -> PipelineResult:
     """Run ``trace`` through ``config`` and return the result."""
-    return TimingSimulator(trace, config, table, memory).run()
+    return TimingSimulator(trace, config, table, memory,
+                           tracer=tracer, sampler=sampler).run()

@@ -38,6 +38,7 @@ class PipelineStats:
     # Stall diagnostics ------------------------------------------------
     decode_stall_ruu_full: int = 0
     decode_stall_empty_ifq: int = 0
+    decode_pe_busy: int = 0   # IFQ empty but decode slots went to the PE
     fetch_stall_mispredict: int = 0
     fetch_stall_ifq_full: int = 0
     issue_fu_conflicts: int = 0
@@ -89,6 +90,9 @@ class PipelineResult:
     predictor: dict
     workload: str = ""
     prefetcher: dict = field(default_factory=dict)
+    #: interval time series (``IntervalSampler.timeline()``) when the run
+    #: was sampled; None for plain runs so summaries stay unchanged.
+    timeline: dict | None = None
 
     @property
     def ipc(self) -> float:

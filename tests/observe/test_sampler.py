@@ -1,0 +1,55 @@
+"""IntervalSampler delta accounting."""
+
+import pytest
+
+from repro.observe import IntervalSampler
+
+
+class TestIntervalSampler:
+    def test_differences_cumulative_counters(self):
+        s = IntervalSampler(interval=100)
+        s.take(100, 80, 500, 1000, 40, 30, 6)
+        s.take(200, 240, 1500, 1800, 140, 90, 8)
+        first, second = s.samples
+        assert first["committed"] == 80 and first["ipc"] == 0.8
+        assert second["committed"] == 160 and second["ipc"] == 1.6
+        assert second["avg_ifq_occupancy"] == 10.0
+        assert second["avg_ruu_occupancy"] == 8.0
+        assert second["mode_residency"] == 1.0
+        assert second["l1_accesses"] == 60
+        assert second["l1_misses"] == 2
+        assert second["l1_miss_rate"] == pytest.approx(2 / 60)
+
+    def test_partial_tail_interval(self):
+        s = IntervalSampler(interval=100)
+        s.take(100, 50, 0, 0, 0, 0, 0)
+        s.take(130, 80, 0, 0, 0, 0, 0)
+        assert s.samples[-1]["cycles"] == 30
+        assert s.samples[-1]["committed"] == 30
+        assert s.samples[-1]["ipc"] == 1.0
+
+    def test_duplicate_boundary_ignored(self):
+        """A run ending exactly on a boundary takes the same cycle twice."""
+        s = IntervalSampler(interval=100)
+        s.take(100, 50, 0, 0, 0, 10, 1)
+        s.take(100, 50, 0, 0, 0, 10, 1)
+        assert len(s.samples) == 1
+
+    def test_zero_access_interval_has_zero_miss_rate(self):
+        s = IntervalSampler()
+        s.take(1000, 10, 0, 0, 0, 0, 0)
+        assert s.samples[0]["l1_miss_rate"] == 0.0
+
+    def test_timeline_shape(self):
+        s = IntervalSampler(interval=50)
+        s.take(50, 10, 0, 0, 0, 0, 0)
+        tl = s.timeline()
+        assert tl["interval"] == 50
+        assert len(tl["samples"]) == 1
+        # timeline() copies: mutating it can't corrupt the sampler
+        tl["samples"].clear()
+        assert len(s.samples) == 1
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(interval=0)

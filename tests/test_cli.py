@@ -68,6 +68,57 @@ class TestAnalyze:
         assert "Trigger-point analysis" in capsys.readouterr().out
 
 
+class TestAnalyzeTimeline:
+    def test_timeline_table(self, capsys):
+        assert main(["analyze", "pointer", "--timeline", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "ipc" in out
+        assert "fills" in out
+
+    def test_interval_flag(self, capsys):
+        assert main(["analyze", "pointer", "--timeline",
+                     "--interval", "500", *SCALE]) == 0
+        assert "500" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_jsonl_on_stdout(self, capsys):
+        assert main(["trace", "pointer", "--kinds", "mode", *SCALE]) == 0
+        cap = capsys.readouterr()
+        from repro.observe import TraceEvent
+        lines = cap.out.splitlines()
+        assert lines
+        events = [TraceEvent.from_json(ln) for ln in lines]
+        assert all(e.kind == "mode" for e in events)
+        assert "events" in cap.err   # summary goes to stderr
+
+    def test_output_file(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert main(["trace", "pointer", "--kinds", "commit",
+                     "--cycles", "0:2000", "-o", str(path), *SCALE]) == 0
+        from repro.observe import TraceEvent
+        events = [TraceEvent.from_json(ln)
+                  for ln in path.read_text().splitlines()]
+        assert events
+        assert all(e.kind == "commit" and e.cycle <= 2000 for e in events)
+
+    def test_unknown_kind_rejected(self, capsys):
+        assert main(["trace", "pointer", "--kinds", "bogus", *SCALE]) == 2
+        assert "kind" in capsys.readouterr().err
+
+    def test_bad_cycle_range_rejected(self, capsys):
+        assert main(["trace", "pointer", "--cycles", "oops", *SCALE]) == 2
+
+    def test_filters_reuse_one_cached_trace(self, capsys):
+        # Two differently-filtered invocations share one cached capture.
+        assert main(["trace", "pointer", "--kinds", "mode", *SCALE]) == 0
+        capsys.readouterr()
+        assert main(["trace", "pointer", "--kinds", "extract",
+                     "--thread", "1", *SCALE]) == 0
+        capsys.readouterr()
+
+
 class TestFiguresAndTables:
     def test_figure6_subset(self, capsys):
         assert main(["figure", "6", "pointer", *SCALE]) == 0
