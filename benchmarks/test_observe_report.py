@@ -1,0 +1,58 @@
+"""Observability sections of EXPERIMENTS.md — fill timeliness, the
+baseline-vs-SPEAR timeline diff, and the per-thread interval series.
+
+Not figures of the paper, but measurements of its mechanism: *where* in
+a run the speedup lives and whether pre-execution caused it.  The tables
+emitted here are the same ones ``repro report`` renders, so EXPERIMENTS.md
+quotes tool output rather than hand-edited text."""
+
+from repro.core import SPEAR_128
+from repro.harness import (diff_table, per_thread_table, timeline_diff,
+                           timeliness)
+
+from .conftest import emit, once
+
+REPORT_WORKLOAD = "ll4"
+
+
+def test_timeliness(benchmark, runner, out_dir):
+    res = once(benchmark, lambda: timeliness(runner))
+
+    for r in res.rows:
+        # The classification is a partition: every fill is exactly one of
+        # timely / late / unused.
+        assert r["timely"] + r["late"] + r["unused"] == r["fills"]
+        assert r["fills"] >= 0 and r["redundant"] >= 0
+
+    emit(out_dir, "timeliness", res.table().render())
+
+
+def test_timeline_diff(benchmark, runner, out_dir):
+    diff = once(benchmark,
+                lambda: timeline_diff(runner, REPORT_WORKLOAD))
+
+    # The alignment invariant: the cumulative win equals the end-to-end
+    # cycle gap exactly (interpolation error cancels at the final row).
+    assert diff.total_cycles_saved == diff.base_cycles - diff.model_cycles
+    assert diff.speedup > 1.0, "SPEAR must win on the pointer-chase kernel"
+    # The win must be witnessed by pre-execution activity, not variance.
+    s = diff.attribution_summary()
+    assert s["pre-execution"] >= 1
+    assert diff.attributed_fraction > 0.5
+
+    emit(out_dir, "timeline_diff", diff_table(diff).render())
+
+
+def test_per_thread_series(benchmark, runner, out_dir):
+    traced = once(benchmark,
+                  lambda: runner.run_traced(REPORT_WORKLOAD, SPEAR_128))
+
+    tl = traced.result.timeline
+    names = [t["name"] for t in tl["per_thread"]]
+    assert names == ["main", "pthread"]
+    pthread = tl["per_thread"][1]["samples"]
+    assert sum(s["completed"] for s in pthread) == \
+        traced.result.stats.spear.pthread_instrs
+
+    emit(out_dir, "per_thread",
+         per_thread_table(traced, REPORT_WORKLOAD).render())

@@ -12,7 +12,14 @@ analyze WORKLOAD     trigger-point timeliness analysis of the p-threads
                      (``--timeline`` renders the traced interval series
                      and fill-timeliness breakdown instead)
 trace WORKLOAD       dump a run's event stream as JSONL (filter with
-                     ``--kinds``, ``--cycles LO:HI``, ``--thread``)
+                     ``--kinds``, ``--cycles LO:HI``, ``--thread``;
+                     ``--stream FILE`` writes events during the run
+                     without buffering — full-length captures)
+report WORKLOAD      baseline-vs-model timeline diff: per-thread series,
+                     per-interval cycles-saved attribution, sparklines
+                     and embedded SVG (``--baseline``/``--model`` pick
+                     the configs, ``-o report.md`` writes the markdown,
+                     ``--svg FILE`` also writes the standalone figure)
 figure {6,7,8,9}     regenerate a figure of the paper
 table {1,2,3}        regenerate a table of the paper
 bench                time compile/trace/simulate phases, write BENCH json
@@ -210,11 +217,24 @@ def cmd_compare(args) -> int:
     return 0
 
 
+#: Forgiving shorthands for the paper's config names (``repro report
+#: ll4 --baseline base --model spear``).
+CONFIG_ALIASES = {
+    "base": "baseline",
+    "spear": "SPEAR-128",
+    "spear-sf": "SPEAR.sf-128",
+}
+
+
 def _lookup_config(name: str):
     config = PAPER_CONFIGS.get(name)
     if config is None:
-        print(f"unknown config {name!r}; known: {sorted(PAPER_CONFIGS)}",
-              file=sys.stderr)
+        alias = CONFIG_ALIASES.get(name.lower(), name)
+        for key, cfg in PAPER_CONFIGS.items():
+            if key.lower() == alias.lower():
+                return cfg
+        print(f"unknown config {name!r}; known: {sorted(PAPER_CONFIGS)} "
+              f"(aliases: {sorted(CONFIG_ALIASES)})", file=sys.stderr)
     return config
 
 
@@ -267,6 +287,35 @@ def _analyze_timeline(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    """``repro report``: baseline-vs-model timeline diff document."""
+    from .harness import build_artifacts, build_report, timeline_diff
+    from .observe import render_diff_svg
+    baseline = _lookup_config(args.baseline)
+    model = _lookup_config(args.model)
+    if baseline is None or model is None:
+        return 2
+    runner = _runner(args)
+    if _jobs(args) > 1:
+        # Deterministic parallel warm-up: artifacts are built in a worker
+        # pool and adopted; the traced runs themselves then read through
+        # the cache, so output is byte-identical to a serial run.
+        build_artifacts(runner, [args.workload], _jobs(args))
+    report = build_report(runner, args.workload, baseline, model,
+                          interval=args.interval)
+    if args.svg:
+        diff = timeline_diff(runner, args.workload, baseline, model,
+                             interval=args.interval)
+        Path(args.svg).write_text(render_diff_svg(diff), encoding="utf-8")
+        print(f"SVG written to {args.svg}", file=sys.stderr)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
 def cmd_trace(args) -> int:
     config = _lookup_config(args.config)
     if config is None:
@@ -289,6 +338,22 @@ def cmd_trace(args) -> int:
                   file=sys.stderr)
             return 2
     runner = _runner(args)
+    if args.stream:
+        # Streaming path: events go to the file as the run produces them
+        # (JsonlStreamSink) — nothing buffered, nothing cached, so
+        # billion-cycle captures are bounded by disk, not memory.  Only
+        # the kind filter applies at the sink; cycle/thread filtering of
+        # a stream is a job for downstream tools (jq, grep).
+        if args.cycles or args.thread is not None or args.output:
+            print("--stream is incompatible with --cycles/--thread/-o "
+                  "(filter the stream downstream instead)", file=sys.stderr)
+            return 2
+        _, emitted = runner.run_streamed(
+            args.workload, config, args.stream, interval=args.interval,
+            kinds=tuple(kinds) if kinds else None)
+        print(f"{emitted} events streamed to {args.stream}",
+              file=sys.stderr)
+        return 0
     # Capture unfiltered so one cached trace serves every filter; the
     # view below narrows it for display.
     traced = runner.run_traced(args.workload, config, interval=args.interval,
@@ -485,9 +550,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "whole run)")
     p.add_argument("-o", "--output", default=None,
                    help="write the JSONL here instead of stdout")
+    p.add_argument("--stream", default=None, metavar="FILE",
+                   help="write every event to FILE during the run "
+                        "(unbounded capture, no in-memory buffering; "
+                        "only --kinds applies)")
     _add_scale(p)
     _add_cache(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "report", help="baseline-vs-model timeline diff report")
+    p.add_argument("workload")
+    p.add_argument("--baseline", default="baseline",
+                   help="reference machine model (default baseline; "
+                        "'base' works too)")
+    p.add_argument("--model", default="SPEAR-128",
+                   help="candidate machine model (default SPEAR-128; "
+                        "'spear' works too)")
+    p.add_argument("--interval", type=int, default=1000,
+                   help="timeline sampling interval in cycles "
+                        "(default 1000)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the markdown report here instead of stdout")
+    p.add_argument("--svg", default=None, metavar="FILE",
+                   help="also write the standalone diff SVG here")
+    p.add_argument("--jobs", "-j", type=int, default=None,
+                   help="worker processes for artifact building "
+                        "(default: CPU count; output is byte-identical "
+                        "to a serial run)")
+    _add_scale(p)
+    _add_cache(p)
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument("number", type=int)

@@ -8,8 +8,9 @@ from .diskcache import CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache, \
 from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
                           LatencySweepResult, MissReductionResult,
                           REGULAR_WORKLOADS, SpeedupResult, TimelinessResult,
-                          figure6, figure7, figure8, figure9, motivation,
-                          table1, table2, table3, timeliness)
+                          build_report, diff_table, figure6, figure7,
+                          figure8, figure9, motivation, per_thread_table,
+                          table1, table2, table3, timeline_diff, timeliness)
 from .faults import (FAULTS_ENV, FaultClause, FaultSpecError, InjectedCrash,
                      InjectedFault, active_faults, parse_faults,
                      render_faults)
@@ -24,7 +25,8 @@ __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "REGULAR_WORKLOADS", "motivation", "LatencySweepResult",
            "MissReductionResult", "SpeedupResult", "figure6", "figure7",
            "figure8", "figure9", "table1", "table2", "table3",
-           "timeliness", "TimelinessResult",
+           "timeliness", "TimelinessResult", "timeline_diff", "diff_table",
+           "per_thread_table", "build_report",
            "ExperimentRunner", "TracedRun", "WorkloadArtifacts", "TextTable",
            "arithmetic_mean", "geometric_mean",
            "CACHE_DIR_ENV", "SCHEMA_VERSION", "DiskCache",

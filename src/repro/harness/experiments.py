@@ -16,8 +16,10 @@ from ..core.configs import (BASELINE, BASELINE_NEXTLINE, BASELINE_STRIDE,
                             PAPER_CONFIGS, SPEAR_128, SPEAR_256,
                             SPEAR_SF_128, SPEAR_SF_256, MachineConfig)
 from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig
+from ..observe.compare import PE_EVENT_KINDS, TimelineDiff, diff_timelines
+from ..observe.render import render_report
 from ..workloads.base import all_workload_names, get_workload
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, TracedRun
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
 #: The 15 evaluated benchmarks, in Table 1 order (ll4 is excluded: it only
@@ -328,6 +330,93 @@ class TimelinessResult:
                       r["timely"], r["late"], r["unused"], r["redundant"],
                       r["timely_pct"])
         return t
+
+
+# ---------------------------------------------------------------------------
+# Timeline comparison — where in a run the speedup lives
+# ---------------------------------------------------------------------------
+
+def timeline_diff(runner: ExperimentRunner, workload: str,
+                  baseline: MachineConfig = BASELINE,
+                  model: MachineConfig = SPEAR_128, *,
+                  interval: int = 1000) -> TimelineDiff:
+    """Trace ``workload`` under both configs and diff the timelines.
+
+    Both traced runs go through :meth:`ExperimentRunner.run_traced`, so
+    they are memoized and disk-cached under the existing ``traces`` kind;
+    a report re-render after a warm run simulates nothing.  Only the
+    pre-execution event kinds are captured, unbounded: attribution must
+    see the *whole* run (a ring buffer keeping the newest N would drop
+    early extract events and misclassify early wins as variance), and
+    the PE kinds are a small fraction of a full stream.
+    """
+    kinds = tuple(sorted(PE_EVENT_KINDS))
+    base = runner.run_traced(workload, baseline, interval=interval,
+                             capacity=None, kinds=kinds)
+    mod = runner.run_traced(workload, model, interval=interval,
+                            capacity=None, kinds=kinds)
+    return diff_timelines(base.result.timeline, mod.result.timeline,
+                          mod.events, workload=workload,
+                          base_name=baseline.name, model_name=model.name)
+
+
+def diff_table(diff: TimelineDiff) -> TextTable:
+    """The per-interval attribution rows as an aligned text table."""
+    t = TextTable(
+        f"{diff.workload}: {diff.base_name} vs {diff.model_name} — "
+        f"per-{diff.interval}-cycle cycles-saved attribution",
+        ["cycle", "committed", "ipc base", "ipc model", "saved cum",
+         "saved Δ", "extracts", "fills", "pt instrs", "attribution"])
+    for r in diff.rows:
+        t.add_row(r["cycle"], r["committed"], round(r["ipc_base"], 3),
+                  round(r["ipc_model"], 3), round(r["cycles_saved"], 1),
+                  round(r["saved_delta"], 1), r["extracts"], r["fills"],
+                  r["pt_completed"], r["attribution"])
+    s = diff.attribution_summary()
+    t.add_footer(
+        f"total cycles saved {diff.total_cycles_saved:.0f} "
+        f"(speedup {diff.speedup:.3f}x); intervals: "
+        f"{s['pre-execution']} pre-execution, {s['variance']} variance, "
+        f"{s['regression']} regression, {s['neutral']} neutral")
+    t.add_footer(f"{diff.attributed_fraction * 100:.1f}% of the win in "
+                 f"pre-execution intervals")
+    return t
+
+
+def per_thread_table(traced: TracedRun, workload: str = "") -> TextTable:
+    """The per-thread interval series of one traced run as a table."""
+    tl = traced.result.timeline
+    name = workload or traced.result.workload
+    t = TextTable(
+        f"{name} / {traced.result.config_name} — per-thread series "
+        f"(interval {tl['interval']} cycles)",
+        ["cycle", "thread", "completed", "ipc", "issued", "issue share",
+         "l1 misses", "miss rate"])
+    for thread in tl.get("per_thread", ()):
+        for s in thread["samples"]:
+            t.add_row(s["cycle"], thread["name"], s["completed"],
+                      round(s["ipc"], 3), s["issued"],
+                      round(s["issue_share"], 3), s["l1_misses"],
+                      round(s["l1_miss_rate"], 3))
+    return t
+
+
+def build_report(runner: ExperimentRunner, workload: str,
+                 baseline: MachineConfig = BASELINE,
+                 model: MachineConfig = SPEAR_128, *,
+                 interval: int = 1000) -> str:
+    """The complete ``repro report`` markdown document for one workload."""
+    kinds = tuple(sorted(PE_EVENT_KINDS))
+    base = runner.run_traced(workload, baseline, interval=interval,
+                             capacity=None, kinds=kinds)
+    mod = runner.run_traced(workload, model, interval=interval,
+                            capacity=None, kinds=kinds)
+    diff = diff_timelines(base.result.timeline, mod.result.timeline,
+                          mod.events, workload=workload,
+                          base_name=baseline.name, model_name=model.name)
+    return render_report(diff, mod.result.timeline,
+                         model_fills=mod.result.memory["fills"],
+                         base_ipc=base.result.ipc, model_ipc=mod.result.ipc)
 
 
 def timeliness(runner: ExperimentRunner,

@@ -28,7 +28,7 @@ from ..functional.trace import Trace
 from ..memory.hierarchy import LatencyConfig, MemoryHierarchy
 from ..observe.events import TraceEvent
 from ..observe.sampler import IntervalSampler
-from ..observe.sinks import RingBufferSink
+from ..observe.sinks import JsonlStreamSink, RingBufferSink
 from ..pipeline.smt import TimingSimulator
 from ..pipeline.stats import PipelineResult
 from ..workloads.base import Workload, get_workload
@@ -207,6 +207,34 @@ class ExperimentRunner:
                     self.cache.put("traces", payload, traced)
             self._traced[key] = traced
         return traced
+
+    def run_streamed(self, name: str, config: MachineConfig,
+                     target, latencies: LatencyConfig | None = None, *,
+                     interval: int = 1000,
+                     kinds: tuple[str, ...] | None = None
+                     ) -> tuple[PipelineResult, int]:
+        """Simulate with every event streamed to ``target`` as JSONL.
+
+        The full-length capture path for billion-cycle runs: events go
+        straight to the stream (a path or writable text file) through
+        :class:`JsonlStreamSink`, so nothing is buffered in memory and
+        nothing is cached — the stream itself is the artifact.  Returns
+        the (timeline-carrying) result and the emitted-event count.
+        """
+        config = self.normalize_config(config, latencies)
+        art = self.artifacts(name)
+        sink = JsonlStreamSink(target, kinds=kinds)
+        try:
+            sampler = IntervalSampler(interval)
+            memory = MemoryHierarchy(latencies=config.latencies)
+            sim = TimingSimulator(art.eval_trace, config, art.binary.table,
+                                  memory, warmup=art.warmup_trace,
+                                  tracer=sink, sampler=sampler)
+            result = sim.run()
+            self.simulations += 1
+        finally:
+            sink.close()
+        return result, sink.emitted
 
     def seed_result(self, name: str, config: MachineConfig,
                     latencies: LatencyConfig | None,

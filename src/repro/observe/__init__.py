@@ -1,19 +1,32 @@
-"""Pipeline observability: structured trace events, sinks and the
-interval sampler feeding ``repro trace`` / ``repro analyze --timeline``.
+"""Pipeline observability: structured trace events, sinks, the interval
+sampler and the comparison/rendering layer feeding ``repro trace``,
+``repro analyze --timeline`` and ``repro report``.
 
 The timing model emits events only when a sink is attached (the
 tracer-is-None fast path keeps the instrumented hot loop at its
-uninstrumented speed), so observability is strictly opt-in.
+uninstrumented speed), so observability is strictly opt-in.  On top of
+the raw streams sit pure-data tools: :class:`IntervalSampler` collects
+per-interval (and per-thread) series, :func:`diff_timelines` aligns a
+baseline and a SPEAR run to localize the speedup, and ``render``
+produces sparklines, SVG and the ``repro report`` markdown.
 """
 
+from .compare import (NEUTRAL_CYCLES, PE_EVENT_KINDS, TimelineAlignmentError,
+                      TimelineDiff, count_pe_events, diff_timelines)
 from .events import (COMMIT, COMPLETE, DECODE, EVENT_KINDS, EXTRACT, FETCH,
                      FILL, ISSUE, MISPREDICT, MODE, MODE_NAMES, PREFETCH,
                      TraceEvent, filter_events, serialize_events)
-from .sampler import IntervalSampler
+from .render import (render_diff_svg, render_diff_text, render_report,
+                     render_timeline_svg, render_timeline_text, sparkline)
+from .sampler import THREAD_NAMES, IntervalSampler
 from .sinks import JsonlStreamSink, RingBufferSink, TraceSink
 
 __all__ = ["TraceEvent", "EVENT_KINDS", "MODE_NAMES", "filter_events",
            "serialize_events", "FETCH", "DECODE", "ISSUE", "COMPLETE",
            "COMMIT", "MISPREDICT", "MODE", "EXTRACT", "PREFETCH", "FILL",
-           "IntervalSampler", "JsonlStreamSink", "RingBufferSink",
-           "TraceSink"]
+           "IntervalSampler", "THREAD_NAMES", "JsonlStreamSink",
+           "RingBufferSink", "TraceSink",
+           "TimelineAlignmentError", "TimelineDiff", "diff_timelines",
+           "count_pe_events", "PE_EVENT_KINDS", "NEUTRAL_CYCLES",
+           "sparkline", "render_timeline_text", "render_diff_text",
+           "render_timeline_svg", "render_diff_svg", "render_report"]

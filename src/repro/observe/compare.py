@@ -1,0 +1,253 @@
+"""Baseline-vs-model timeline diffing: *where* in a run a speedup lives.
+
+Whole-run speedups (Figure 6) say a SPEAR model wins; they cannot say
+whether it wins uniformly, or in three bursts around the pointer-chase
+phases, or despite losing ground elsewhere.  :func:`diff_timelines`
+aligns two traced runs of the *same workload* on the model run's
+interval grid and, for every interval, answers two questions:
+
+1. **How many cycles ahead is the model here?**  Both runs commit the
+   same instruction stream, so at each model boundary (cycle ``c``,
+   cumulative committed ``n``) the baseline's cycle count at the same
+   ``n`` committed instructions is well defined (piecewise-linear
+   interpolation inside the baseline interval that crosses ``n``).
+   ``cycles_saved = base_cycles(n) - c`` is the cumulative win; its
+   per-interval difference localizes the gain.
+
+2. **Did pre-execution cause it?**  Each winning interval is checked
+   against the model's event stream: extract / prefetch / fill events
+   inside the window mean speculative work was active there
+   (``"pre-execution"``); a win with no such activity is unattributable
+   phase variance (``"variance"``).  Losing intervals are flagged
+   ``"regression"`` and flat ones ``"neutral"``.
+
+Runs of different length are the *normal* case (the faster model simply
+has fewer intervals); a different sampling interval or a different
+committed-instruction total means the series are not comparable and
+raises :class:`TimelineAlignmentError` rather than silently truncating.
+
+>>> base = {"interval": 100, "samples": [
+...     {"cycle": 100, "cycles": 100, "committed": 50, "ipc": 0.5},
+...     {"cycle": 200, "cycles": 100, "committed": 50, "ipc": 0.5}]}
+>>> model = {"interval": 100, "samples": [
+...     {"cycle": 100, "cycles": 100, "committed": 100, "ipc": 1.0}]}
+>>> d = diff_timelines(base, model)
+>>> d.total_cycles_saved
+100.0
+>>> d.rows[0]["attribution"]
+'variance'
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from .events import EXTRACT, FILL, PREFETCH, TraceEvent
+
+#: Event kinds that witness speculative pre-execution activity in a
+#: window (PE extraction plus the speculative fills it and the hardware
+#: prefetcher start).
+PE_EVENT_KINDS = frozenset((EXTRACT, PREFETCH, FILL))
+
+#: Cumulative-cycles-saved deltas smaller than this (in cycles) are
+#: considered flat — interpolation noise, not a phase.
+NEUTRAL_CYCLES = 0.5
+
+
+class TimelineAlignmentError(ValueError):
+    """Two timelines cannot be compared (different interval grid or a
+    different committed-instruction total — i.e. not the same run)."""
+
+
+@dataclass
+class TimelineDiff:
+    """An aligned baseline-vs-model comparison of two traced runs.
+
+    ``rows`` holds one dict per model interval (see
+    :func:`diff_timelines` for the keys); the summary properties
+    aggregate them.  ``base_tail_cycles`` is how long the baseline kept
+    running after the model finished — the visible end-to-end win.
+    """
+
+    interval: int
+    workload: str = ""
+    base_name: str = ""
+    model_name: str = ""
+    rows: list[dict] = field(default_factory=list)
+    base_cycles: int = 0
+    model_cycles: int = 0
+
+    @property
+    def total_cycles_saved(self) -> float:
+        """Cycles the baseline needed beyond the model's total (equals
+        the last row's cumulative ``cycles_saved``)."""
+        return self.rows[-1]["cycles_saved"] if self.rows else 0.0
+
+    @property
+    def base_tail_cycles(self) -> int:
+        """Baseline cycles remaining after the model's last boundary."""
+        return self.base_cycles - self.model_cycles
+
+    @property
+    def speedup(self) -> float:
+        return self.base_cycles / self.model_cycles if self.model_cycles \
+            else 0.0
+
+    def attribution_summary(self) -> dict[str, int]:
+        """Interval counts per attribution class, in a fixed key order."""
+        out = {"pre-execution": 0, "variance": 0, "regression": 0,
+               "neutral": 0}
+        for row in self.rows:
+            out[row["attribution"]] += 1
+        return out
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Share of the total win earned in pre-execution intervals."""
+        won = sum(r["saved_delta"] for r in self.rows
+                  if r["saved_delta"] > 0)
+        if not won:
+            return 0.0
+        return sum(r["saved_delta"] for r in self.rows
+                   if r["attribution"] == "pre-execution") / won
+
+
+def _cycle_at_committed(samples: list[dict], target: int) -> float:
+    """Cycle at which a run first reached ``target`` cumulative committed
+    instructions, interpolating linearly inside the crossing interval."""
+    prev_cycle = 0
+    cum = 0
+    for s in samples:
+        nxt = cum + s["committed"]
+        if nxt >= target:
+            if s["committed"] == 0:
+                return float(prev_cycle)
+            frac = (target - cum) / s["committed"]
+            return prev_cycle + frac * s["cycles"]
+        prev_cycle = s["cycle"]
+        cum = nxt
+    return float(prev_cycle)
+
+
+def count_pe_events(events: list[TraceEvent],
+                    boundaries: list[int]) -> list[dict]:
+    """Per-window counts of pre-execution activity.
+
+    ``boundaries`` are the model run's interval end cycles (ascending);
+    window ``i`` covers ``(boundaries[i-1], boundaries[i]]`` with the
+    first window starting at cycle 0.  Events past the last boundary are
+    ignored.
+    """
+    counts = [{"extracts": 0, "prefetches": 0, "fills": 0}
+              for _ in boundaries]
+    if not boundaries:
+        return counts
+    for e in events:
+        if e.kind not in PE_EVENT_KINDS:
+            continue
+        # Window i holds cycles (boundaries[i-1], boundaries[i]]; events
+        # are emitted at cycle < boundary by construction.
+        i = bisect_left(boundaries, e.cycle + 1)
+        if i >= len(counts):
+            continue
+        if e.kind == EXTRACT:
+            counts[i]["extracts"] += 1
+        elif e.kind == PREFETCH:
+            counts[i]["prefetches"] += 1
+        else:
+            counts[i]["fills"] += 1
+    return counts
+
+
+def diff_timelines(base: dict, model: dict,
+                   model_events: list[TraceEvent] | None = None, *,
+                   workload: str = "", base_name: str = "",
+                   model_name: str = "") -> TimelineDiff:
+    """Align two ``PipelineResult.timeline`` dicts and diff them.
+
+    ``base``/``model`` are the timelines of a baseline and a candidate
+    run of the same workload; ``model_events`` is the model run's trace
+    event stream (used for pre-execution attribution — without it every
+    win degrades to ``"variance"``).
+
+    Returns a :class:`TimelineDiff` whose ``rows`` each carry:
+
+    ``cycle``, ``committed``
+        the model boundary and cumulative committed instructions there;
+    ``ipc_base``, ``ipc_model``, ``ipc_delta``
+        interval IPCs on the shared grid (the baseline interval at the
+        same *index*, i.e. the same wall-clock window);
+    ``base_cycles_at``, ``cycles_saved``, ``saved_delta``
+        the interpolated baseline cycle count at the same committed
+        total, the cumulative win, and this interval's contribution;
+    ``extracts``, ``prefetches``, ``fills``, ``pt_completed``
+        speculative activity inside the window;
+    ``attribution``
+        ``"pre-execution"`` / ``"variance"`` / ``"regression"`` /
+        ``"neutral"``.
+
+    Raises :class:`TimelineAlignmentError` when the sampling intervals
+    differ or the two runs committed different instruction totals.
+    """
+    if base.get("interval") != model.get("interval"):
+        raise TimelineAlignmentError(
+            f"sampling intervals differ: baseline {base.get('interval')} "
+            f"vs model {model.get('interval')} — re-trace both runs with "
+            f"the same --interval")
+    base_samples = base["samples"]
+    model_samples = model["samples"]
+    base_total = sum(s["committed"] for s in base_samples)
+    model_total = sum(s["committed"] for s in model_samples)
+    if base_total != model_total:
+        raise TimelineAlignmentError(
+            f"runs committed different instruction totals: baseline "
+            f"{base_total} vs model {model_total} — not the same workload "
+            f"or scale")
+
+    boundaries = [s["cycle"] for s in model_samples]
+    pe = count_pe_events(model_events or [], boundaries)
+    pt_series = None
+    for t in model.get("per_thread", ()):
+        if t.get("name") == "pthread":
+            pt_series = t["samples"]
+
+    diff = TimelineDiff(
+        interval=base["interval"], workload=workload,
+        base_name=base_name, model_name=model_name,
+        base_cycles=base_samples[-1]["cycle"] if base_samples else 0,
+        model_cycles=model_samples[-1]["cycle"] if model_samples else 0)
+
+    committed = 0
+    prev_saved = 0.0
+    for i, s in enumerate(model_samples):
+        committed += s["committed"]
+        base_cycles_at = _cycle_at_committed(base_samples, committed)
+        saved = base_cycles_at - s["cycle"]
+        saved_delta = saved - prev_saved
+        prev_saved = saved
+        ipc_base = base_samples[i]["ipc"] if i < len(base_samples) else 0.0
+        pe_active = pe[i]["extracts"] + pe[i]["fills"] > 0
+        if saved_delta > NEUTRAL_CYCLES:
+            attribution = "pre-execution" if pe_active else "variance"
+        elif saved_delta < -NEUTRAL_CYCLES:
+            attribution = "regression"
+        else:
+            attribution = "neutral"
+        diff.rows.append({
+            "cycle": s["cycle"],
+            "committed": committed,
+            "ipc_base": ipc_base,
+            "ipc_model": s["ipc"],
+            "ipc_delta": s["ipc"] - ipc_base,
+            "base_cycles_at": base_cycles_at,
+            "cycles_saved": saved,
+            "saved_delta": saved_delta,
+            "extracts": pe[i]["extracts"],
+            "prefetches": pe[i]["prefetches"],
+            "fills": pe[i]["fills"],
+            "pt_completed": (pt_series[i]["completed"]
+                             if pt_series and i < len(pt_series) else 0),
+            "attribution": attribution,
+        })
+    return diff

@@ -132,6 +132,10 @@ class TimingSimulator:
 
         self._cycle = 0
         self._committed = 0
+        #: cumulative per-thread execution counters (indexed MAIN_THREAD /
+        #: P_THREAD) feeding the sampler's per-thread series.
+        self._completed_by_thread = [0, 0]
+        self._issued_by_thread = [0, 0]
 
         #: ``MachineConfig.trigger_occupancy`` is a derived property; it is
         #: consulted on every fetch group, so compute it once.
@@ -367,12 +371,14 @@ class TimingSimulator:
             if sampling and (cycle + 1) % sample_interval == 0:
                 sampler.take(cycle + 1, self._committed, ifq_occ_sum,
                              ruu_occ_sum, mode_cycles, main_ts.accesses,
-                             main_ts.l1_misses)
+                             main_ts.l1_misses,
+                             per_thread=self._thread_counters())
         if sampler is not None:
             # Partial tail interval (no-op if the run ended on a boundary).
             sampler.take(self._cycle, self._committed, ifq_occ_sum,
                          ruu_occ_sum, mode_cycles, main_ts.accesses,
-                         main_ts.l1_misses)
+                         main_ts.l1_misses,
+                         per_thread=self._thread_counters())
         stats.ifq_occupancy_sum += ifq_occ_sum
         stats.ruu_occupancy_sum += ruu_occ_sum
         stats.decoded += decoded_total
@@ -389,6 +395,16 @@ class TimingSimulator:
             prefetcher=self.prefetcher.stats.snapshot(),
             workload=self.trace.program_name,
             timeline=sampler.timeline() if sampler is not None else None)
+
+    def _thread_counters(self) -> tuple:
+        """Cumulative per-thread (completed, issued, l1_accesses,
+        l1_misses) tuples for the sampler's per-thread series."""
+        stats = self.mem.thread_stats
+        completed = self._completed_by_thread
+        issued = self._issued_by_thread
+        return tuple(
+            (completed[t], issued[t], stats[t].accesses, stats[t].l1_misses)
+            for t in (MAIN_THREAD, P_THREAD))
 
     # ------------------------------------------------------------------
     # Completion / wakeup
@@ -407,8 +423,10 @@ class TimingSimulator:
             for instr in finished:
                 tracer.emit(TraceEvent(cycle, COMPLETE, instr.thread,
                                        instr.entry.pc, instr.trace_idx))
+        completed_by_thread = self._completed_by_thread
         for instr in finished:
             instr.done = True
+            completed_by_thread[instr.thread] += 1
             for cons in instr.consumers:
                 cons.deps -= 1
                 if cons.deps == 0 and not cons.issued:
@@ -656,18 +674,20 @@ class TimingSimulator:
         # paper likens them to a CMP); shared models share the budget.
         pt_budget = cfg.issue_width if cfg.separate_fu else budget
 
+        issued_by_thread = self._issued_by_thread
         if self._pt_ready and cfg.pthread_priority:
             used = self._issue_from(self._pt_ready, fu_pt, pt_budget,
                                     decode_before=self._cycle)
+            issued_by_thread[P_THREAD] += used
             if not cfg.separate_fu:
                 budget -= used
         if budget > 0 and self._main_ready:
-            self._issue_from(self._main_ready, fu_main, budget,
-                             decode_before=self._cycle)
+            issued_by_thread[MAIN_THREAD] += self._issue_from(
+                self._main_ready, fu_main, budget, decode_before=self._cycle)
         if self._pt_ready and not cfg.pthread_priority and budget > 0:
             # Ablation path: p-thread competes after the main thread.
-            self._issue_from(self._pt_ready, fu_pt, pt_budget,
-                             decode_before=self._cycle)
+            issued_by_thread[P_THREAD] += self._issue_from(
+                self._pt_ready, fu_pt, pt_budget, decode_before=self._cycle)
 
     def _issue_from(self, ready: list[DynInstr], pool: FUPool, budget: int,
                     decode_before: int) -> int:

@@ -92,11 +92,24 @@ class PipelineResult:
     prefetcher: dict = field(default_factory=dict)
     #: interval time series (``IntervalSampler.timeline()``) when the run
     #: was sampled; None for plain runs so summaries stay unchanged.
+    #: Carries the global ``samples`` list plus a ``per_thread`` view
+    #: (one series per hardware thread) — see
+    #: :meth:`repro.observe.sampler.IntervalSampler.timeline`.
     timeline: dict | None = None
 
     @property
     def ipc(self) -> float:
         return self.stats.ipc
+
+    def thread_series(self, thread: int) -> list[dict] | None:
+        """One hardware thread's interval series (0 = main, 1 = p-thread),
+        or None when the run was not sampled per-thread."""
+        if not self.timeline:
+            return None
+        for t in self.timeline.get("per_thread", ()):
+            if t["thread"] == thread:
+                return t["samples"]
+        return None
 
     @property
     def main_l1_misses(self) -> int:

@@ -1,0 +1,171 @@
+"""Timeline diffing: alignment, interpolation, attribution, edge cases."""
+
+import pytest
+
+from repro.observe import (EXTRACT, FILL, PREFETCH, TimelineAlignmentError,
+                           TraceEvent, count_pe_events, diff_timelines)
+
+
+def timeline(interval, rows, per_thread=None):
+    """Build a timeline dict from (cycles, committed) pairs."""
+    samples = []
+    cycle = 0
+    for cycles, committed in rows:
+        cycle += cycles
+        samples.append({"cycle": cycle, "cycles": cycles,
+                        "committed": committed,
+                        "ipc": committed / cycles})
+    tl = {"interval": interval, "samples": samples}
+    if per_thread is not None:
+        tl["per_thread"] = per_thread
+    return tl
+
+
+class TestAlignmentErrors:
+    def test_interval_mismatch_raises(self):
+        base = timeline(100, [(100, 50)])
+        model = timeline(200, [(200, 50)])
+        with pytest.raises(TimelineAlignmentError, match="intervals differ"):
+            diff_timelines(base, model)
+
+    def test_committed_total_mismatch_raises(self):
+        base = timeline(100, [(100, 50), (100, 50)])
+        model = timeline(100, [(100, 90)])
+        with pytest.raises(TimelineAlignmentError,
+                           match="different instruction totals"):
+            diff_timelines(base, model)
+
+    def test_mismatch_never_truncates_silently(self):
+        """A shorter model run with a *different* committed total must
+        raise, not be diffed against a truncated baseline."""
+        base = timeline(100, [(100, 60), (100, 60), (100, 60)])
+        model = timeline(100, [(100, 60), (100, 60)])
+        with pytest.raises(TimelineAlignmentError):
+            diff_timelines(base, model)
+
+
+class TestUnequalLengths:
+    def test_faster_model_fewer_intervals(self):
+        """Different lengths with equal committed totals are the normal
+        case; the final cumulative saving is exactly the cycle gap."""
+        base = timeline(100, [(100, 40), (100, 40), (100, 40), (100, 40)])
+        model = timeline(100, [(100, 80), (100, 80)])
+        d = diff_timelines(base, model)
+        assert len(d.rows) == 2
+        assert d.base_cycles == 400 and d.model_cycles == 200
+        assert d.total_cycles_saved == pytest.approx(
+            d.base_cycles - d.model_cycles)
+        assert d.base_tail_cycles == 200
+        assert d.speedup == pytest.approx(2.0)
+
+    def test_interpolation_inside_crossing_interval(self):
+        # Model commits 60 by cycle 100; baseline commits 40 + 40, so the
+        # 60th commit lands halfway through the second baseline interval.
+        base = timeline(100, [(100, 40), (100, 40)])
+        model = timeline(100, [(100, 60), (50, 20)])
+        d = diff_timelines(base, model)
+        assert d.rows[0]["base_cycles_at"] == pytest.approx(150.0)
+        assert d.rows[0]["cycles_saved"] == pytest.approx(50.0)
+        assert d.rows[1]["cycles_saved"] == pytest.approx(
+            d.base_cycles - d.model_cycles)
+
+    def test_ipc_grid_shares_index(self):
+        base = timeline(100, [(100, 40), (100, 40)])
+        model = timeline(100, [(100, 80)])
+        d = diff_timelines(base, model)
+        assert d.rows[0]["ipc_base"] == pytest.approx(0.4)
+        assert d.rows[0]["ipc_model"] == pytest.approx(0.8)
+        assert d.rows[0]["ipc_delta"] == pytest.approx(0.4)
+
+
+class TestZeroDelta:
+    def test_identical_runs_all_neutral(self):
+        rows = [(100, 50), (100, 70), (100, 50)]
+        d = diff_timelines(timeline(100, rows), timeline(100, rows))
+        assert d.total_cycles_saved == pytest.approx(0.0)
+        assert [r["attribution"] for r in d.rows] == ["neutral"] * 3
+        assert d.attribution_summary()["neutral"] == 3
+        assert d.attributed_fraction == 0.0
+        assert all(abs(r["saved_delta"]) < 0.5 for r in d.rows)
+
+    def test_empty_timelines(self):
+        d = diff_timelines(timeline(100, []), timeline(100, []))
+        assert d.rows == []
+        assert d.total_cycles_saved == 0.0
+        assert d.base_tail_cycles == 0
+
+
+class TestAttribution:
+    def test_win_with_pe_events_is_pre_execution(self):
+        base = timeline(100, [(100, 40), (100, 40)])
+        model = timeline(100, [(100, 80)])
+        events = [TraceEvent(10, EXTRACT, thread=1),
+                  TraceEvent(20, FILL)]
+        d = diff_timelines(base, model, events)
+        assert d.rows[0]["attribution"] == "pre-execution"
+        assert d.rows[0]["extracts"] == 1
+        assert d.rows[0]["fills"] == 1
+        assert d.attributed_fraction == pytest.approx(1.0)
+
+    def test_win_without_events_is_variance(self):
+        base = timeline(100, [(100, 40), (100, 40)])
+        model = timeline(100, [(100, 80)])
+        d = diff_timelines(base, model, [])
+        assert d.rows[0]["attribution"] == "variance"
+
+    def test_prefetch_alone_does_not_attribute(self):
+        """PREFETCH requests are counted but only extracts/fills witness
+        pre-execution (a request that never fills moved no data)."""
+        base = timeline(100, [(100, 40), (100, 40)])
+        model = timeline(100, [(100, 80)])
+        d = diff_timelines(base, model, [TraceEvent(10, PREFETCH)])
+        assert d.rows[0]["prefetches"] == 1
+        assert d.rows[0]["attribution"] == "variance"
+
+    def test_losing_interval_is_regression(self):
+        # Model is slower in its first interval (20 vs 40 committed),
+        # then catches up.
+        base = timeline(100, [(100, 40), (100, 40)])
+        model = timeline(100, [(100, 20), (100, 60)])
+        d = diff_timelines(base, model)
+        assert d.rows[0]["attribution"] == "regression"
+        assert d.rows[0]["cycles_saved"] < 0
+
+    def test_pt_completed_from_per_thread_series(self):
+        base = timeline(100, [(100, 40), (100, 40)])
+        model = timeline(100, [(100, 80)], per_thread=[
+            {"thread": 0, "name": "main", "samples": [{"completed": 75}]},
+            {"thread": 1, "name": "pthread", "samples": [{"completed": 5}]},
+        ])
+        d = diff_timelines(base, model)
+        assert d.rows[0]["pt_completed"] == 5
+
+
+class TestCountPeEvents:
+    def test_window_boundaries_inclusive(self):
+        events = [TraceEvent(0, EXTRACT), TraceEvent(99, EXTRACT),
+                  TraceEvent(100, FILL), TraceEvent(150, PREFETCH),
+                  TraceEvent(999, EXTRACT)]
+        counts = count_pe_events(events, [100, 200])
+        # Window 0 covers cycles [0, 100); cycle-100 events land in
+        # window 1 ((100, 200]); events past the last boundary drop.
+        assert counts[0] == {"extracts": 2, "prefetches": 0, "fills": 0}
+        assert counts[1] == {"extracts": 0, "prefetches": 1, "fills": 1}
+
+    def test_non_pe_kinds_ignored(self):
+        counts = count_pe_events([TraceEvent(5, "commit")], [100])
+        assert counts[0] == {"extracts": 0, "prefetches": 0, "fills": 0}
+
+    def test_empty_boundaries(self):
+        assert count_pe_events([TraceEvent(5, EXTRACT)], []) == []
+
+
+class TestDiffMetadata:
+    def test_names_carried(self):
+        rows = [(100, 50)]
+        d = diff_timelines(timeline(100, rows), timeline(100, rows),
+                           workload="ll4", base_name="baseline",
+                           model_name="SPEAR-128")
+        assert (d.workload, d.base_name, d.model_name) == \
+            ("ll4", "baseline", "SPEAR-128")
+        assert d.interval == 100

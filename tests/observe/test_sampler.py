@@ -53,3 +53,58 @@ class TestIntervalSampler:
     def test_interval_validated(self):
         with pytest.raises(ValueError):
             IntervalSampler(interval=0)
+
+
+class TestPerThread:
+    def test_differences_per_thread_counters(self):
+        s = IntervalSampler(interval=100)
+        s.take(100, 50, 0, 0, 0, 10, 1,
+               per_thread=((40, 60, 10, 1), (10, 20, 8, 4)))
+        s.take(200, 150, 0, 0, 0, 30, 3,
+               per_thread=((120, 140, 30, 3), (30, 60, 16, 8)))
+        main, pthread = s.thread_samples
+        assert [x["completed"] for x in main] == [40, 80]
+        assert [x["completed"] for x in pthread] == [10, 20]
+        assert main[1]["ipc"] == 0.8
+        assert pthread[1]["issued"] == 40
+        # issue share is of the interval's total issue, per interval
+        assert main[0]["issue_share"] == pytest.approx(60 / 80)
+        assert pthread[1]["issue_share"] == pytest.approx(40 / 120)
+        assert pthread[0]["l1_miss_rate"] == pytest.approx(4 / 8)
+
+    def test_per_thread_optional_and_backwards_compatible(self):
+        s = IntervalSampler(interval=100)
+        s.take(100, 50, 0, 0, 0, 0, 0)
+        assert s.thread_samples == []
+        assert "per_thread" not in s.timeline()
+
+    def test_timeline_per_thread_shape(self):
+        s = IntervalSampler(interval=100)
+        s.take(100, 50, 0, 0, 0, 10, 1,
+               per_thread=((40, 60, 10, 1), (10, 20, 8, 4)))
+        tl = s.timeline()
+        assert [t["thread"] for t in tl["per_thread"]] == [0, 1]
+        assert [t["name"] for t in tl["per_thread"]] == ["main", "pthread"]
+        # series parallel to the global one
+        for t in tl["per_thread"]:
+            assert len(t["samples"]) == len(tl["samples"])
+            assert t["samples"][0]["cycle"] == tl["samples"][0]["cycle"]
+        # timeline() copies the per-thread series too
+        tl["per_thread"][1]["samples"].clear()
+        assert len(s.thread_samples[1]) == 1
+
+    def test_zero_issue_interval_share_is_zero(self):
+        s = IntervalSampler(interval=100)
+        s.take(100, 0, 0, 0, 0, 0, 0,
+               per_thread=((0, 0, 0, 0), (0, 0, 0, 0)))
+        for series in s.thread_samples:
+            assert series[0]["issue_share"] == 0.0
+            assert series[0]["l1_miss_rate"] == 0.0
+
+    def test_duplicate_boundary_skips_threads_too(self):
+        s = IntervalSampler(interval=100)
+        s.take(100, 50, 0, 0, 0, 0, 0,
+               per_thread=((40, 60, 10, 1), (10, 20, 8, 4)))
+        s.take(100, 50, 0, 0, 0, 0, 0,
+               per_thread=((40, 60, 10, 1), (10, 20, 8, 4)))
+        assert len(s.thread_samples[0]) == 1

@@ -4,6 +4,8 @@ chaining, decode-stall attribution)."""
 
 import dataclasses
 
+import pytest
+
 from repro.core import PThread, PThreadTable, SPEAR_128, BASELINE
 from repro.functional import Trace, TraceEntry
 from repro.isa import OpClass
@@ -125,6 +127,50 @@ class TestSamplerIntegration:
         assert samples[-1]["cycle"] == res.stats.cycles
         assert all(s["cycle"] % 500 == 0 for s in samples[:-1])
         assert all(0.0 <= s["mode_residency"] <= 1.0 for s in samples)
+
+
+class TestPerThreadSeries:
+    def test_per_thread_totals_match_stats(self):
+        res, _ = traced_run(gather_like_trace(), table=table_for(),
+                            interval=500)
+        tl = res.timeline
+        assert [t["name"] for t in tl["per_thread"]] == ["main", "pthread"]
+        main = res.thread_series(0)
+        pthread = res.thread_series(1)
+        assert len(main) == len(tl["samples"]) == len(pthread)
+        # Thread 0 completes exactly the committed instructions; thread 1
+        # completes exactly the extracted p-thread instructions.
+        assert sum(s["completed"] for s in main) == res.stats.committed
+        assert sum(s["completed"] for s in pthread) == \
+            res.stats.spear.pthread_instrs
+        # Per-thread L1 accounting decomposes the memory snapshot.
+        threads = res.memory["threads"]
+        assert sum(s["l1_misses"] for s in main) == threads[0]["l1_misses"]
+        assert sum(s["l1_misses"] for s in pthread) == \
+            threads[1]["l1_misses"]
+
+    def test_issue_share_partitions_unity(self):
+        res, _ = traced_run(gather_like_trace(), table=table_for(),
+                            interval=500)
+        main = res.thread_series(0)
+        pthread = res.thread_series(1)
+        for m, p in zip(main, pthread):
+            total = m["issued"] + p["issued"]
+            if total:
+                assert m["issue_share"] + p["issue_share"] == \
+                    pytest.approx(1.0)
+
+    def test_thread_series_absent_without_sampler(self):
+        res = TimingSimulator(gather_like_trace(iters=20), BASELINE,
+                              None).run()
+        assert res.thread_series(0) is None
+
+    def test_baseline_pthread_series_is_flat(self):
+        res, _ = traced_run(gather_like_trace(), config=BASELINE,
+                            interval=500)
+        pthread = res.thread_series(1)
+        assert all(s["completed"] == 0 for s in pthread)
+        assert all(s["issued"] == 0 for s in pthread)
 
 
 class TestChainingRetrigger:

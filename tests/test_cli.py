@@ -119,6 +119,89 @@ class TestTrace:
         capsys.readouterr()
 
 
+class TestTraceStream:
+    def test_stream_writes_jsonl_during_run(self, capsys, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        assert main(["trace", "pointer", "--stream", str(path),
+                     *SCALE]) == 0
+        err = capsys.readouterr().err
+        assert "streamed" in err
+        from repro.observe import TraceEvent
+        lines = path.read_text().splitlines()
+        assert lines
+        events = [TraceEvent.from_json(ln) for ln in lines]
+        assert f"{len(events)} events" in err
+        cycles = [e.cycle for e in events]
+        assert cycles == sorted(cycles)
+
+    def test_stream_respects_kind_filter(self, capsys, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        assert main(["trace", "pointer", "--stream", str(path),
+                     "--kinds", "commit", *SCALE]) == 0
+        from repro.observe import TraceEvent
+        events = [TraceEvent.from_json(ln)
+                  for ln in path.read_text().splitlines()]
+        assert events
+        assert all(e.kind == "commit" for e in events)
+
+    @pytest.mark.parametrize("extra", [["--cycles", "0:100"],
+                                       ["--thread", "1"],
+                                       ["-o", "x.jsonl"]])
+    def test_stream_incompatible_with_view_filters(self, capsys, tmp_path,
+                                                   extra):
+        path = tmp_path / "stream.jsonl"
+        assert main(["trace", "pointer", "--stream", str(path),
+                     *extra, *SCALE]) == 2
+        assert "incompatible" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_markdown_on_stdout(self, capsys):
+        assert main(["report", "pointer", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# repro report — pointer: baseline vs "
+                              "SPEAR-128")
+        assert "## Per-interval attribution" in out
+        assert "## Per-thread series" in out
+        assert "## Fill timeliness" in out
+        assert "<svg " in out
+
+    def test_config_aliases(self, capsys):
+        assert main(["report", "pointer", "--baseline", "base",
+                     "--model", "spear", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "baseline vs SPEAR-128" in out
+
+    def test_unknown_model_rejected(self, capsys):
+        assert main(["report", "pointer", "--model", "bogus", *SCALE]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_output_and_svg_files(self, capsys, tmp_path):
+        md = tmp_path / "r.md"
+        svg = tmp_path / "r.svg"
+        assert main(["report", "pointer", "-o", str(md),
+                     "--svg", str(svg), *SCALE]) == 0
+        cap = capsys.readouterr()
+        assert cap.out == ""   # everything went to the files
+        assert md.read_text().startswith("# repro report")
+        assert svg.read_text().startswith("<svg ")
+
+    def test_serial_and_parallel_byte_identical(self, monkeypatch,
+                                                capsys, tmp_path):
+        # Separate cache dirs force both invocations to compute from
+        # scratch — identical bytes must come from determinism, not from
+        # the second run reading the first one's cache.
+        out_a = tmp_path / "serial.md"
+        out_b = tmp_path / "jobs2.md"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-a"))
+        assert main(["report", "pointer", "-o", str(out_a), *SCALE]) == 0
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-b"))
+        assert main(["report", "pointer", "-o", str(out_b),
+                     "--jobs", "2", *SCALE]) == 0
+        capsys.readouterr()
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+
 class TestFiguresAndTables:
     def test_figure6_subset(self, capsys):
         assert main(["figure", "6", "pointer", *SCALE]) == 0
