@@ -7,8 +7,9 @@ emitted here are the same ones ``repro report`` renders, so EXPERIMENTS.md
 quotes tool output rather than hand-edited text."""
 
 from repro.core import SPEAR_128
-from repro.harness import (diff_table, per_thread_table, timeline_diff,
-                           timeliness)
+from repro.harness import (diff_table, per_thread_table, suite_diff,
+                           suite_table, timeline_diff, timeliness)
+from repro.harness.experiments import EVAL_WORKLOADS
 
 from .conftest import emit, once
 
@@ -56,3 +57,18 @@ def test_per_thread_series(benchmark, runner, out_dir):
 
     emit(out_dir, "per_thread",
          per_thread_table(traced, REPORT_WORKLOAD).render())
+
+
+def test_suite(benchmark, runner, out_dir):
+    suite = once(benchmark, lambda: suite_diff(runner))
+
+    assert [r["workload"] for r in suite.rows] == list(EVAL_WORKLOADS)
+    # The exact aggregate invariant EXPERIMENTS.md quotes: every speedup
+    # is the raw cycle ratio and the geomean is their exact product
+    # raised to 1/n (suite_diff validates, this re-checks the published
+    # object).
+    assert suite.validate() is suite
+    assert suite.geomean_speedup > 1.0, \
+        "SPEAR-128 must win the suite on geomean"
+
+    emit(out_dir, "suite", suite_table(suite).render())

@@ -20,12 +20,17 @@ report WORKLOAD      baseline-vs-model timeline diff: per-thread series,
                      and embedded SVG (``--baseline``/``--model`` pick
                      the configs, ``-o report.md`` writes the markdown,
                      ``--svg FILE`` also writes the standalone figure)
+report --suite       the whole-suite report: every workload (or a named
+                     subset) under baseline+model in parallel,
+                     per-workload speedups plus geomean, one markdown
+                     document and one small-multiples SVG grid
 figure {6,7,8,9}     regenerate a figure of the paper
 table {1,2,3}        regenerate a table of the paper
 bench                time compile/trace/simulate phases, write BENCH json
 journal show [RUN]   list run journals, or dump one run's JSONL events
 
-``figure``, ``table`` and ``compare`` accept ``--jobs N`` (parallel cell
+``figure``, ``table``, ``compare`` and ``report`` accept ``--jobs N``
+(parallel cell
 fan-out over processes, default CPU count), ``--cache-dir``/``--no-cache``
 (persistent artifact cache, default ``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``), plus the fault-tolerance knobs ``--cell-timeout``,
@@ -288,32 +293,68 @@ def _analyze_timeline(args) -> int:
 
 
 def cmd_report(args) -> int:
-    """``repro report``: baseline-vs-model timeline diff document."""
-    from .harness import build_artifacts, build_report, timeline_diff
-    from .observe import render_diff_svg
+    """``repro report``: baseline-vs-model timeline diff document —
+    one workload, or the whole suite with ``--suite``.
+
+    Either way the traced cells run through the fault-tolerant parallel
+    engine (journaled, resumable, ``--jobs N`` with byte-identical
+    output to serial); rendering then reads the seeded memo and
+    simulates nothing.  The run report goes to stderr so stdout stays
+    byte-comparable across job counts.
+    """
+    from .harness import (build_report, build_suite_report, report_cells,
+                          report_trace_spec, timeline_diff)
+    from .harness.experiments import EVAL_WORKLOADS
+    from .observe import render_diff_svg, render_suite_svg
     baseline = _lookup_config(args.baseline)
     model = _lookup_config(args.model)
     if baseline is None or model is None:
         return 2
+    if not args.suite and len(args.workloads) != 1:
+        print("report needs exactly one WORKLOAD (or --suite for the "
+              "whole-suite report)", file=sys.stderr)
+        return 2
+    workloads = list(args.workloads) or list(EVAL_WORKLOADS)
     runner = _runner(args)
-    if _jobs(args) > 1:
-        # Deterministic parallel warm-up: artifacts are built in a worker
-        # pool and adopted; the traced runs themselves then read through
-        # the cache, so output is byte-identical to a serial run.
-        build_artifacts(runner, [args.workload], _jobs(args))
-    report = build_report(runner, args.workload, baseline, model,
-                          interval=args.interval)
-    if args.svg:
-        diff = timeline_diff(runner, args.workload, baseline, model,
-                             interval=args.interval)
-        Path(args.svg).write_text(render_diff_svg(diff), encoding="utf-8")
+    spec = report_trace_spec(args.interval)
+    cells = report_cells(workloads, [baseline, model], spec)
+    experiment = "report-suite" if args.suite else "report"
+    journal = RunJournal.for_run(experiment, cells, runner,
+                                 root=_journal_dir(args))
+    try:
+        run_report = run_cells(runner, cells, _jobs(args),
+                               policy=_policy(args), journal=journal,
+                               resume=getattr(args, "resume", False))
+    except FatalCellError as exc:
+        return _fatal(exc)
+    bad = {f.cell.workload for f in run_report.failures}
+    keep = [w for w in workloads if w not in bad]
+    if not keep:
+        print("no workload completed; nothing to render", file=sys.stderr)
+        print(run_report.render(), file=sys.stderr)
+        return 1
+    if args.suite:
+        report, suite = build_suite_report(runner, keep, baseline, model,
+                                           interval=args.interval)
+        svg = render_suite_svg(suite) if args.svg else None
+    else:
+        report = build_report(runner, keep[0], baseline, model,
+                              interval=args.interval)
+        svg = None
+        if args.svg:
+            diff = timeline_diff(runner, keep[0], baseline, model,
+                                 interval=args.interval)
+            svg = render_diff_svg(diff)
+    if svg is not None:
+        Path(args.svg).write_text(svg, encoding="utf-8")
         print(f"SVG written to {args.svg}", file=sys.stderr)
     if args.output:
         Path(args.output).write_text(report, encoding="utf-8")
         print(f"report written to {args.output}", file=sys.stderr)
     else:
         print(report)
-    return 0
+    print(run_report.render(), file=sys.stderr)
+    return 0 if run_report.completed else 1
 
 
 def cmd_trace(args) -> int:
@@ -560,7 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "report", help="baseline-vs-model timeline diff report")
-    p.add_argument("workload")
+    p.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                   help="one workload for the single report; with --suite "
+                        "an optional subset (default: all 15)")
+    p.add_argument("--suite", action="store_true",
+                   help="whole-suite report: every workload under baseline"
+                        "+model, per-workload speedups + geomean, and a "
+                        "small-multiples SVG grid with --svg")
     p.add_argument("--baseline", default="baseline",
                    help="reference machine model (default baseline; "
                         "'base' works too)")
@@ -573,13 +620,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None,
                    help="write the markdown report here instead of stdout")
     p.add_argument("--svg", default=None, metavar="FILE",
-                   help="also write the standalone diff SVG here")
-    p.add_argument("--jobs", "-j", type=int, default=None,
-                   help="worker processes for artifact building "
-                        "(default: CPU count; output is byte-identical "
-                        "to a serial run)")
+                   help="also write the standalone figure SVG here "
+                        "(diff panels, or the suite grid with --suite)")
     _add_scale(p)
-    _add_cache(p)
+    _add_perf(p)
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -611,8 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workloads", nargs="*")
     p.add_argument("--quick", action="store_true",
                    help="smoke mode: cap --scale at 0.05 (<60 s)")
-    p.add_argument("-o", "--output", default="BENCH_pr3.json",
-                   help="report path (default BENCH_pr3.json)")
+    p.add_argument("-o", "--output", default="BENCH_pr5.json",
+                   help="report path (default BENCH_pr5.json)")
     p.add_argument("--reference",
                    help="JSON report from an older commit to compare against")
     _add_scale(p)

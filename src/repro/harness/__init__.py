@@ -8,17 +8,20 @@ from .diskcache import CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache, \
 from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
                           LatencySweepResult, MissReductionResult,
                           REGULAR_WORKLOADS, SpeedupResult, TimelinessResult,
-                          build_report, diff_table, figure6, figure7,
-                          figure8, figure9, motivation, per_thread_table,
-                          table1, table2, table3, timeline_diff, timeliness)
+                          build_report, build_suite_report, diff_table,
+                          figure6, figure7, figure8, figure9, motivation,
+                          per_thread_table, report_trace_spec, suite_diff,
+                          suite_table, table1, table2, table3, timeline_diff,
+                          timeliness)
 from .faults import (FAULTS_ENV, FaultClause, FaultSpecError, InjectedCrash,
                      InjectedFault, active_faults, parse_faults,
                      render_faults)
 from .journal import RunJournal, default_journal_dir, list_journals
 from .parallel import (Cell, CellFailure, ExecutionPolicy, FatalCellError,
-                       RunReport, build_artifacts, cells_for,
-                       default_jobs, default_workloads, run_cells)
-from .runner import ExperimentRunner, TracedRun, WorkloadArtifacts
+                       PayloadRef, PayloadResolutionError, RunReport,
+                       build_artifacts, cells_for, default_jobs,
+                       default_workloads, report_cells, run_cells)
+from .runner import ExperimentRunner, TracedRun, TraceSpec, WorkloadArtifacts
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
 __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
@@ -26,12 +29,15 @@ __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "MissReductionResult", "SpeedupResult", "figure6", "figure7",
            "figure8", "figure9", "table1", "table2", "table3",
            "timeliness", "TimelinessResult", "timeline_diff", "diff_table",
-           "per_thread_table", "build_report",
-           "ExperimentRunner", "TracedRun", "WorkloadArtifacts", "TextTable",
+           "per_thread_table", "build_report", "build_suite_report",
+           "report_trace_spec", "suite_diff", "suite_table",
+           "ExperimentRunner", "TracedRun", "TraceSpec",
+           "WorkloadArtifacts", "TextTable",
            "arithmetic_mean", "geometric_mean",
            "CACHE_DIR_ENV", "SCHEMA_VERSION", "DiskCache",
            "default_cache_dir", "Cell", "build_artifacts", "cells_for",
-           "default_jobs", "default_workloads", "run_cells",
+           "default_jobs", "default_workloads", "report_cells", "run_cells",
+           "PayloadRef", "PayloadResolutionError",
            "render_report", "run_bench",
            "CellFailure", "ExecutionPolicy", "FatalCellError", "RunReport",
            "RunJournal", "default_journal_dir", "list_journals",

@@ -21,16 +21,23 @@ from pathlib import Path
 from time import perf_counter
 
 from ..compiler.driver import compile_spear
-from ..core.configs import SPEAR_128
+from ..core.configs import BASELINE, SPEAR_128
 from ..functional.simulator import FunctionalSimulator
 from ..memory.hierarchy import MemoryHierarchy
-from ..observe import IntervalSampler, RingBufferSink, render_timeline_svg
+from ..observe import (IntervalSampler, RingBufferSink, render_suite_svg,
+                       render_timeline_svg)
 from ..pipeline.smt import TimingSimulator
 from ..workloads.base import get_workload
 from .diskcache import DiskCache, default_cache_dir
-from .experiments import EVAL_WORKLOADS, figure6
-from .parallel import cells_for, default_jobs, run_cells
+from .experiments import (EVAL_WORKLOADS, build_suite_report, figure6,
+                          report_trace_spec)
+from .parallel import cells_for, default_jobs, report_cells, run_cells
 from .runner import ExperimentRunner
+
+#: Workload subset timed by the suite-report section (the full 15-way
+#: suite is the figures' job; the bench only needs a stable wall-time
+#: trend plus the byte-identity assertion).
+SUITE_BENCH_WORKLOADS = 3
 
 #: Workload used for the single-cell phase timings.
 SINGLE_CELL_WORKLOAD = "pointer"
@@ -48,6 +55,21 @@ def _figure6_pass(cache: DiskCache, scale: float, jobs: int,
         run_cells(runner, cells_for("figure6", workloads), jobs)
     table = figure6(runner, workloads).table("Figure 6").render()
     return perf_counter() - t0, _sha256(table), runner
+
+
+def _suite_report_pass(cache: DiskCache, scale: float, jobs: int,
+                       workloads: list[str]
+                       ) -> tuple[float, str, ExperimentRunner]:
+    """One `repro report --suite` equivalent: parallel traced cells
+    through the engine, then the markdown + SVG grid render."""
+    runner = ExperimentRunner(instruction_scale=scale, cache=cache)
+    spec = report_trace_spec()
+    t0 = perf_counter()
+    run_cells(runner, report_cells(workloads, [BASELINE, SPEAR_128], spec),
+              jobs)
+    md, suite = build_suite_report(runner, workloads)
+    svg = render_suite_svg(suite)
+    return perf_counter() - t0, _sha256(md + svg), runner
 
 
 def _single_cell_phases(scale: float) -> dict:
@@ -174,6 +196,12 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
     warm_s, warm_sha, warm_runner = _figure6_pass(cache, scale, jobs,
                                                   workloads)
 
+    suite_workloads = workloads[:SUITE_BENCH_WORKLOADS]
+    s_cold_s, s_cold_sha, s_cold_runner = _suite_report_pass(
+        cache, scale, jobs, suite_workloads)
+    s_warm_s, s_warm_sha, s_warm_runner = _suite_report_pass(
+        cache, scale, jobs, suite_workloads)
+
     late = _single_cell_phases(scale)
     if late["simulate_s"] < single_cell["simulate_s"]:
         single_cell.update(
@@ -186,7 +214,7 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
         if single_cell["simulate_s"] else 0.0)
 
     report = {
-        "bench": "pr3",
+        "bench": "pr5",
         "schema": 2,
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "python": sys.version.split()[0],
@@ -206,6 +234,17 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
             "cold_simulations": cold_runner.simulations,
             "warm_builds": warm_runner.builds,
             "warm_simulations": warm_runner.simulations,
+        },
+        "suite_report": {
+            "workloads": suite_workloads,
+            "cells": len(suite_workloads) * 2,
+            "cold_s": s_cold_s,
+            "warm_s": s_warm_s,
+            "speedup": s_cold_s / s_warm_s if s_warm_s else float("inf"),
+            "identical_output": s_cold_sha == s_warm_sha,
+            "report_sha256": s_cold_sha,
+            "cold_simulations": s_cold_runner.simulations,
+            "warm_simulations": s_warm_runner.simulations,
         },
         "single_cell": single_cell,
         "cache": cache.stats(),
@@ -245,6 +284,13 @@ def render_report(report: dict) -> str:
         f"  simulation throughput: {sc['instr_per_s']:,.0f} instr/s "
         f"({sc['cycles_per_s']:,.0f} cycles/s)",
     ]
+    sr = report.get("suite_report")
+    if sr:
+        lines.append(
+            f"  suite report ({len(sr['workloads'])} workloads, "
+            f"{sr['cells']} traced cells): cold {sr['cold_s']:.2f} s, "
+            f"warm {sr['warm_s']:.2f} s  byte-identical output: "
+            f"{sr['identical_output']}")
     if sc.get("simulate_traced_s") is not None:
         lines.append(
             f"  with tracer+sampler attached: {sc['simulate_traced_s']:.3f} s "

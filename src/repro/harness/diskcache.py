@@ -160,6 +160,42 @@ class DiskCache:
         counter.hits += 1
         return value
 
+    def get_by_key(self, kind: str, key: str):
+        """Load an entry addressed directly by its content key.
+
+        The parallel engine's spill/reference protocol lands here: a
+        worker ships only ``(kind, key)`` over IPC and the parent
+        resolves the heavy payload from disk.  Same miss semantics as
+        :meth:`get` — corrupt entries are deleted and report ``None``.
+        """
+        counter = self._counter(kind)
+        path = self.path_for(kind, key)
+        if not path.is_file():
+            counter.misses += 1
+            return None
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            counter.errors += 1
+            counter.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        counter.hits += 1
+        return value
+
+    def entry_size(self, kind: str, key: str) -> int | None:
+        """On-disk size in bytes of one entry, or ``None`` if absent —
+        lets the journal record how heavy a spilled payload is without
+        ever inlining it."""
+        try:
+            return self.path_for(kind, key).stat().st_size
+        except OSError:
+            return None
+
     def put(self, kind: str, payload: dict, value) -> None:
         """Store atomically; concurrent writers of the same key are safe
         (last ``os.replace`` wins with identical content)."""

@@ -16,10 +16,11 @@ from ..core.configs import (BASELINE, BASELINE_NEXTLINE, BASELINE_STRIDE,
                             PAPER_CONFIGS, SPEAR_128, SPEAR_256,
                             SPEAR_SF_128, SPEAR_SF_256, MachineConfig)
 from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig
-from ..observe.compare import PE_EVENT_KINDS, TimelineDiff, diff_timelines
-from ..observe.render import render_report
+from ..observe.compare import (PE_EVENT_KINDS, SuiteDiff, TimelineDiff,
+                               diff_timelines)
+from ..observe.render import render_report, render_suite_report
 from ..workloads.base import all_workload_names, get_workload
-from .runner import ExperimentRunner, TracedRun
+from .runner import ExperimentRunner, TracedRun, TraceSpec
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
 #: The 15 evaluated benchmarks, in Table 1 order (ll4 is excluded: it only
@@ -336,6 +337,21 @@ class TimelinessResult:
 # Timeline comparison — where in a run the speedup lives
 # ---------------------------------------------------------------------------
 
+def report_trace_spec(interval: int = 1000) -> TraceSpec:
+    """The one trace spec every report path shares.
+
+    Only the pre-execution event kinds are captured, unbounded:
+    attribution must see the *whole* run (a ring buffer keeping the
+    newest N would drop early extract events and misclassify early wins
+    as variance), and the PE kinds are a small fraction of a full
+    stream.  Centralized so a parallel pre-run (``run_cells`` over
+    :func:`~repro.harness.parallel.report_cells`) seeds exactly the memo
+    entries the diff below will look up.
+    """
+    return TraceSpec(interval=interval, capacity=None,
+                     kinds=tuple(sorted(PE_EVENT_KINDS)))
+
+
 def timeline_diff(runner: ExperimentRunner, workload: str,
                   baseline: MachineConfig = BASELINE,
                   model: MachineConfig = SPEAR_128, *,
@@ -344,17 +360,11 @@ def timeline_diff(runner: ExperimentRunner, workload: str,
 
     Both traced runs go through :meth:`ExperimentRunner.run_traced`, so
     they are memoized and disk-cached under the existing ``traces`` kind;
-    a report re-render after a warm run simulates nothing.  Only the
-    pre-execution event kinds are captured, unbounded: attribution must
-    see the *whole* run (a ring buffer keeping the newest N would drop
-    early extract events and misclassify early wins as variance), and
-    the PE kinds are a small fraction of a full stream.
+    a report re-render after a warm run simulates nothing.
     """
-    kinds = tuple(sorted(PE_EVENT_KINDS))
-    base = runner.run_traced(workload, baseline, interval=interval,
-                             capacity=None, kinds=kinds)
-    mod = runner.run_traced(workload, model, interval=interval,
-                            capacity=None, kinds=kinds)
+    spec = report_trace_spec(interval)
+    base = runner.run_traced(workload, baseline, spec=spec)
+    mod = runner.run_traced(workload, model, spec=spec)
     return diff_timelines(base.result.timeline, mod.result.timeline,
                           mod.events, workload=workload,
                           base_name=baseline.name, model_name=model.name)
@@ -406,17 +416,69 @@ def build_report(runner: ExperimentRunner, workload: str,
                  model: MachineConfig = SPEAR_128, *,
                  interval: int = 1000) -> str:
     """The complete ``repro report`` markdown document for one workload."""
-    kinds = tuple(sorted(PE_EVENT_KINDS))
-    base = runner.run_traced(workload, baseline, interval=interval,
-                             capacity=None, kinds=kinds)
-    mod = runner.run_traced(workload, model, interval=interval,
-                            capacity=None, kinds=kinds)
+    spec = report_trace_spec(interval)
+    base = runner.run_traced(workload, baseline, spec=spec)
+    mod = runner.run_traced(workload, model, spec=spec)
     diff = diff_timelines(base.result.timeline, mod.result.timeline,
                           mod.events, workload=workload,
                           base_name=baseline.name, model_name=model.name)
     return render_report(diff, mod.result.timeline,
                          model_fills=mod.result.memory["fills"],
                          base_ipc=base.result.ipc, model_ipc=mod.result.ipc)
+
+
+def suite_diff(runner: ExperimentRunner,
+               workloads: list[str] | None = None,
+               baseline: MachineConfig = BASELINE,
+               model: MachineConfig = SPEAR_128, *,
+               interval: int = 1000) -> SuiteDiff:
+    """Diff baseline vs model for every workload and aggregate.
+
+    Whole-run IPCs come from the traced results themselves, and the
+    returned aggregate is validated — its geomean provably equals the
+    product of the per-workload cycle ratios raised to ``1/n``.
+    """
+    spec = report_trace_spec(interval)
+    names = list(workloads or EVAL_WORKLOADS)
+    diffs, base_ipcs, model_ipcs = [], [], []
+    for name in names:
+        base = runner.run_traced(name, baseline, spec=spec)
+        mod = runner.run_traced(name, model, spec=spec)
+        diffs.append(diff_timelines(
+            base.result.timeline, mod.result.timeline, mod.events,
+            workload=name, base_name=baseline.name, model_name=model.name))
+        base_ipcs.append(base.result.ipc)
+        model_ipcs.append(mod.result.ipc)
+    return SuiteDiff.from_diffs(diffs, base_ipcs, model_ipcs).validate()
+
+
+def suite_table(suite: SuiteDiff) -> TextTable:
+    """The suite aggregate as an aligned text table with geomean footer."""
+    t = TextTable(
+        f"suite: {suite.base_name} vs {suite.model_name} — per-workload "
+        f"speedups ({len(suite.rows)} workloads)",
+        ["workload", "base cycles", "model cycles", "base ipc",
+         "model ipc", "speedup", "saved", "PE intervals", "attributed"])
+    for r in suite.rows:
+        t.add_row(r["workload"], r["base_cycles"], r["model_cycles"],
+                  round(r["base_ipc"], 3), round(r["model_ipc"], 3),
+                  f"{r['speedup']:.3f}x", r["cycles_saved"],
+                  f"{r['pe_intervals']}/{r['intervals']}",
+                  f"{r['attributed_fraction'] * 100:.1f}%")
+    t.add_footer(f"geomean speedup {suite.geomean_speedup:.3f}x")
+    return t
+
+
+def build_suite_report(runner: ExperimentRunner,
+                       workloads: list[str] | None = None,
+                       baseline: MachineConfig = BASELINE,
+                       model: MachineConfig = SPEAR_128, *,
+                       interval: int = 1000) -> tuple[str, SuiteDiff]:
+    """The ``repro report --suite`` markdown document plus its aggregate
+    (callers render the SVG grid from the aggregate)."""
+    suite = suite_diff(runner, workloads, baseline, model,
+                       interval=interval)
+    return render_suite_report(suite), suite
 
 
 def timeliness(runner: ExperimentRunner,

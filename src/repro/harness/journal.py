@@ -32,14 +32,23 @@ def cell_key(runner, cell) -> str:
     """Stable identity of one cell's result — exactly the key the
     runner's cache stores it under, so a journaled ``ok`` always names
     the entry ``--resume`` verifies against (honoring a cache built with
-    a non-default ``schema_version``).  Without a cache, falls back to
-    the same derivation at the global :data:`SCHEMA_VERSION`."""
+    a non-default ``schema_version``).  A traced cell (``cell.trace``
+    set) keys under the ``"traces"`` kind with the trace parameters
+    folded in — the journal stores only this content-hash reference to
+    the spilled payload, never the payload itself.  Without a cache,
+    falls back to the same derivation at the global
+    :data:`SCHEMA_VERSION`."""
     config = runner.normalize_config(cell.config, cell.latencies)
-    payload = runner.result_payload(cell.workload, config)
+    spec = getattr(cell, "trace", None)
+    if spec is not None:
+        kind = "traces"
+        payload = runner.traced_payload(cell.workload, config, spec)
+    else:
+        kind = "results"
+        payload = runner.result_payload(cell.workload, config)
     if getattr(runner, "cache", None) is not None:
-        return runner.cache.key_for("results", payload)
-    return content_key({"schema": SCHEMA_VERSION, "kind": "results",
-                        **payload})
+        return runner.cache.key_for(kind, payload)
+    return content_key({"schema": SCHEMA_VERSION, "kind": kind, **payload})
 
 
 def run_key(experiment: str, cells, runner) -> str:
@@ -83,7 +92,11 @@ class RunJournal:
     def record_cell(self, *, index: int, key: str, workload: str,
                     config: str, status: str, attempts: int,
                     elapsed: float = 0.0, kind: str | None = None,
-                    error: str | None = None) -> None:
+                    error: str | None = None, ref: str | None = None,
+                    payload_bytes: int | None = None) -> None:
+        """``ref``/``payload_bytes`` describe a spilled heavy payload
+        (traced cells): ``ref`` is its ``kind/content-key`` address in
+        the disk cache — the journal never inlines the payload."""
         rec = {"event": "cell", "index": index, "key": key,
                "workload": workload, "config": config, "status": status,
                "attempts": attempts, "elapsed": round(elapsed, 6)}
@@ -91,6 +104,10 @@ class RunJournal:
             rec["kind"] = kind
         if error is not None:
             rec["error"] = error[:500]
+        if ref is not None:
+            rec["ref"] = ref
+        if payload_bytes is not None:
+            rec["payload_bytes"] = payload_bytes
         self._append(rec)
 
     def record_end(self, summary: dict) -> None:

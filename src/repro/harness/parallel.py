@@ -55,16 +55,51 @@ from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig
 from . import faults
 from .diskcache import DiskCache
 from .journal import RunJournal, cell_key
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, TracedRun, TraceSpec
 
 
 @dataclass(frozen=True)
 class Cell:
-    """One picklable unit of work: simulate ``workload`` under ``config``."""
+    """One picklable unit of work: simulate ``workload`` under ``config``.
+
+    With ``trace`` set the cell is a *traced* run: the worker attaches a
+    ring-buffer tracer and interval sampler per the spec, and the result
+    is a :class:`~repro.harness.runner.TracedRun` instead of a plain
+    ``PipelineResult``.
+    """
 
     workload: str
     config: MachineConfig
     latencies: LatencyConfig | None = None
+    trace: TraceSpec | None = None
+
+
+@dataclass(frozen=True)
+class PayloadRef:
+    """Content-hash reference to a heavy payload spilled to the cache.
+
+    Traced runs are orders of magnitude heavier than ``PipelineResult``s
+    (they carry the retained event stream), so workers never ship them
+    over the result pipe: the worker writes the payload through its
+    cache view and returns this reference; the parent resolves it with
+    :meth:`~repro.harness.diskcache.DiskCache.get_by_key`.  ``size`` is
+    the on-disk byte count, journaled for observability.
+    """
+
+    kind: str
+    key: str
+    size: int | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.kind}/{self.key}"
+
+
+class PayloadResolutionError(RuntimeError):
+    """A spilled payload reference could not be resolved from the cache
+    (evicted or corrupted between the worker's write and the parent's
+    read).  Treated as a retryable cell failure — re-running the cell
+    rewrites the entry."""
 
 
 #: Config columns of each experiment's matrix (workload rows come from the
@@ -101,6 +136,13 @@ def cells_for(experiment: str,
         return [Cell(n, c, lat)
                 for n in names for lat in FIG9_LATENCIES for c in configs]
     return [Cell(n, c) for n in names for c in configs]
+
+
+def report_cells(workloads: list[str], configs: list[MachineConfig],
+                 spec: TraceSpec) -> list[Cell]:
+    """Enumerate the traced-cell matrix of a (suite) report: every
+    workload under every config, all captured under one trace spec."""
+    return [Cell(n, c, trace=spec) for n in workloads for c in configs]
 
 
 def default_jobs() -> int:
@@ -234,7 +276,41 @@ def _init_worker(slicer_config: SlicerConfig, scale: float,
 
 def _run_cell(cell: Cell, index: int = 0, attempt: int = 1):
     faults.inject_cell_faults(index, attempt)
-    return _WORKER_RUNNER.run(cell.workload, cell.config, cell.latencies)
+    if cell.trace is None:
+        return _WORKER_RUNNER.run(cell.workload, cell.config, cell.latencies)
+    traced = _WORKER_RUNNER.run_traced(cell.workload, cell.config,
+                                       cell.latencies, spec=cell.trace)
+    return _spill(_WORKER_RUNNER, cell, traced)
+
+
+def _spill(runner: ExperimentRunner, cell: Cell, traced: TracedRun):
+    """Exchange a heavy traced payload for its cache reference.
+
+    ``run_traced`` already wrote the payload through the worker's cache
+    view (or read it from there), so the entry exists on disk; without a
+    cache there is nowhere to spill and the payload ships inline — the
+    degraded but correct path.
+    """
+    if runner.cache is None:
+        return traced
+    config = runner.normalize_config(cell.config, cell.latencies)
+    payload = runner.traced_payload(cell.workload, config, cell.trace)
+    key = runner.cache.key_for("traces", payload)
+    return PayloadRef("traces", key, runner.cache.entry_size("traces", key))
+
+
+def _resolve(runner: ExperimentRunner, value):
+    """Parent-side inverse of :func:`_spill`: load the payload a worker
+    referenced.  Raises :class:`PayloadResolutionError` (retryable) when
+    the entry vanished between the worker's write and this read."""
+    if not isinstance(value, PayloadRef):
+        return value
+    resolved = (runner.cache.get_by_key(value.kind, value.key)
+                if runner.cache is not None else None)
+    if resolved is None:
+        raise PayloadResolutionError(
+            f"spilled payload {value.address} missing from cache")
+    return resolved
 
 
 def _build_artifact(name: str):
@@ -260,8 +336,7 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
     policy = policy or ExecutionPolicy()
     jobs = default_jobs() if jobs is None else jobs
     started = time.monotonic()
-    unique = [c for c in dict.fromkeys(cells)
-              if not runner.has_result(c.workload, c.config, c.latencies)]
+    unique = [c for c in dict.fromkeys(cells) if not _memoized(runner, c)]
     report = RunReport(total=len(unique))
     if journal is not None and unique:
         journal.record_start(len(unique))
@@ -283,8 +358,12 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
         # Merge in submission order so rendering is order-independent.
         for i, cell in indexed:
             if i in results:
-                runner.seed_result(cell.workload, cell.config,
-                                   cell.latencies, results[i])
+                if cell.trace is not None:
+                    runner.seed_traced(cell.workload, cell.config,
+                                       cell.latencies, cell.trace, results[i])
+                else:
+                    runner.seed_result(cell.workload, cell.config,
+                                       cell.latencies, results[i])
         report.wall_time = time.monotonic() - started
         if runner.cache is not None:
             report.cache_stats = runner.cache.stats()
@@ -293,12 +372,22 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
     return report
 
 
+def _memoized(runner: ExperimentRunner, cell: Cell) -> bool:
+    """Whether the runner's memo already holds this cell's payload."""
+    if cell.trace is not None:
+        return runner.has_traced(cell.workload, cell.config, cell.latencies,
+                                 cell.trace)
+    return runner.has_result(cell.workload, cell.config, cell.latencies)
+
+
 def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
                      journal: RunJournal, report: RunReport) -> list[Cell]:
     """Seed journaled-ok cells from the disk cache; return the rest.
 
     A journaled ``ok`` is only trusted if the cache still holds the
-    result — anything evicted (or run without a cache) is recomputed.
+    payload — anything evicted (or run without a cache) is recomputed.
+    Traced cells restore from the ``"traces"`` kind under their
+    spec-qualified key, plain cells from ``"results"``.
     """
     done = journal.completed_keys()
     if not done:
@@ -308,11 +397,20 @@ def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
         restored = None
         if cell_key(runner, cell) in done and runner.cache is not None:
             config = runner.normalize_config(cell.config, cell.latencies)
-            restored = runner.cache.get(
-                "results", runner.result_payload(cell.workload, config))
+            if cell.trace is not None:
+                restored = runner.cache.get(
+                    "traces",
+                    runner.traced_payload(cell.workload, config, cell.trace))
+            else:
+                restored = runner.cache.get(
+                    "results", runner.result_payload(cell.workload, config))
         if restored is not None:
-            runner.seed_result(cell.workload, cell.config, cell.latencies,
-                               restored)
+            if cell.trace is not None:
+                runner.seed_traced(cell.workload, cell.config, cell.latencies,
+                                   cell.trace, restored)
+            else:
+                runner.seed_result(cell.workload, cell.config, cell.latencies,
+                                   restored)
             report.resumed += 1
         else:
             remaining.append(cell)
@@ -327,10 +425,20 @@ def _register_ok(runner, cell: Cell, i: int, attempts_used: int,
     if attempts_used > 1:
         report.retried += 1
     if journal is not None:
+        ref = size = None
+        if cell.trace is not None and runner.cache is not None:
+            # Journal the spilled payload by reference only — a traced
+            # payload never appears inline in the JSONL stream.
+            config = runner.normalize_config(cell.config, cell.latencies)
+            key = runner.cache.key_for(
+                "traces",
+                runner.traced_payload(cell.workload, config, cell.trace))
+            ref = f"traces/{key}"
+            size = runner.cache.entry_size("traces", key)
         journal.record_cell(index=i, key=cell_key(runner, cell),
                             workload=cell.workload, config=cell.config.name,
                             status="ok", attempts=attempts_used,
-                            elapsed=elapsed)
+                            elapsed=elapsed, ref=ref, payload_bytes=size)
 
 
 def _register_failure(runner, cell: Cell, i: int, attempts_used: int,
@@ -372,8 +480,13 @@ def _execute_serial(runner: ExperimentRunner, items, attempts: dict,
             t0 = time.monotonic()
             try:
                 faults.inject_cell_faults(i, attempts[i])
-                result = runner.run(cell.workload, cell.config,
-                                    cell.latencies)
+                if cell.trace is not None:
+                    result = runner.run_traced(cell.workload, cell.config,
+                                               cell.latencies,
+                                               spec=cell.trace)
+                else:
+                    result = runner.run(cell.workload, cell.config,
+                                        cell.latencies)
             except Exception as exc:
                 if _register_failure(runner, cell, i, attempts[i],
                                      "exception", exc, policy, report,
@@ -481,7 +594,7 @@ def _drain_pool(runner: ExperimentRunner, outstanding: dict, attempts: dict,
                 i = meta.index
                 cell = outstanding[i]
                 try:
-                    result = fut.result()
+                    result = _resolve(runner, fut.result())
                 except BrokenProcessPool:
                     # Collateral or culprit — indistinguishable, and
                     # neither finished a real attempt: the crash charges

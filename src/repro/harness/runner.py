@@ -50,6 +50,29 @@ class TracedRun:
     dropped: int
 
 
+@dataclass(frozen=True)
+class TraceSpec:
+    """The trace parameters that identify one traced-run cell.
+
+    Hashable and picklable so it can ride on a parallel-engine
+    :class:`~repro.harness.parallel.Cell`; ``kinds`` is normalized to a
+    sorted tuple so equal filters always produce equal cache keys.
+    """
+
+    interval: int = 1000
+    capacity: int | None = 65536
+    kinds: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kinds is not None:
+            object.__setattr__(self, "kinds", tuple(sorted(self.kinds)))
+
+    def payload(self) -> dict:
+        """The ``trace`` section of a traced-run cache/journal key."""
+        return {"interval": self.interval, "capacity": self.capacity,
+                "kinds": list(self.kinds) if self.kinds else None}
+
+
 @dataclass
 class WorkloadArtifacts:
     """Everything derived from one workload, built lazily."""
@@ -96,6 +119,14 @@ class ExperimentRunner:
         """Cache/journal key payload of one (workload, config) result."""
         payload = self._artifact_payload(name)
         payload["config"] = asdict(config)
+        return payload
+
+    def traced_payload(self, name: str, config: MachineConfig,
+                       spec: TraceSpec) -> dict:
+        """Cache/journal key payload of one traced cell — the result key
+        plus the trace parameters, under the ``"traces"`` kind."""
+        payload = self.result_payload(name, config)
+        payload["trace"] = spec.payload()
         return payload
 
     @staticmethod
@@ -172,28 +203,31 @@ class ExperimentRunner:
     def run_traced(self, name: str, config: MachineConfig,
                    latencies: LatencyConfig | None = None, *,
                    interval: int = 1000, capacity: int | None = 65536,
-                   kinds: tuple[str, ...] | None = None) -> TracedRun:
+                   kinds: tuple[str, ...] | None = None,
+                   spec: TraceSpec | None = None) -> TracedRun:
         """Simulate one cell with tracing and interval sampling attached.
 
         Traced runs are cached under their own kind ("traces") with the
         trace parameters folded into the key, so they coexist with — and
         never pollute — the plain "results" entries the figures, journal
-        and parallel engine consume.
+        and parallel engine consume.  ``spec`` bundles the trace
+        parameters (the parallel engine ships it on the cell); when given
+        it overrides the individual keyword arguments.
         """
+        if spec is None:
+            spec = TraceSpec(interval, capacity,
+                             tuple(kinds) if kinds is not None else None)
         config = self.normalize_config(config, latencies)
-        kinds = tuple(sorted(kinds)) if kinds is not None else None
-        key = (name, config, interval, capacity, kinds)
+        key = (name, config, spec)
         traced = self._traced.get(key)
         if traced is None:
-            payload = self.result_payload(name, config)
-            payload["trace"] = {"interval": interval, "capacity": capacity,
-                                "kinds": list(kinds) if kinds else None}
+            payload = self.traced_payload(name, config, spec)
             if self.cache is not None:
                 traced = self.cache.get("traces", payload)
             if traced is None:
                 art = self.artifacts(name)
-                sink = RingBufferSink(capacity, kinds=kinds)
-                sampler = IntervalSampler(interval)
+                sink = RingBufferSink(spec.capacity, kinds=spec.kinds)
+                sampler = IntervalSampler(spec.interval)
                 memory = MemoryHierarchy(latencies=config.latencies)
                 sim = TimingSimulator(art.eval_trace, config,
                                       art.binary.table, memory,
@@ -248,6 +282,20 @@ class ExperimentRunner:
         """Whether the memo already holds this cell's result — the one
         blessed membership check (parallel engine, journal resume)."""
         return (name, self.normalize_config(config, latencies)) in self._results
+
+    def seed_traced(self, name: str, config: MachineConfig,
+                    latencies: LatencyConfig | None, spec: TraceSpec,
+                    traced: TracedRun) -> None:
+        """Adopt a traced run computed elsewhere (the parallel engine's
+        merge resolves the spilled cache entry, then seeds it here)."""
+        config = self.normalize_config(config, latencies)
+        self._traced[(name, config, spec)] = traced
+
+    def has_traced(self, name: str, config: MachineConfig,
+                   latencies: LatencyConfig | None, spec: TraceSpec) -> bool:
+        """Whether the memo already holds this traced cell."""
+        config = self.normalize_config(config, latencies)
+        return (name, config, spec) in self._traced
 
     def has_artifact(self, name: str) -> bool:
         """Whether ``name``'s artifacts are already memoized in-process."""

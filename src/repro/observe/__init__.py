@@ -11,12 +11,14 @@ baseline and a SPEAR run to localize the speedup, and ``render``
 produces sparklines, SVG and the ``repro report`` markdown.
 """
 
-from .compare import (NEUTRAL_CYCLES, PE_EVENT_KINDS, TimelineAlignmentError,
+from .compare import (NEUTRAL_CYCLES, PE_EVENT_KINDS, SuiteDiff,
+                      SuiteInvariantError, TimelineAlignmentError,
                       TimelineDiff, count_pe_events, diff_timelines)
 from .events import (COMMIT, COMPLETE, DECODE, EVENT_KINDS, EXTRACT, FETCH,
                      FILL, ISSUE, MISPREDICT, MODE, MODE_NAMES, PREFETCH,
                      TraceEvent, filter_events, serialize_events)
 from .render import (render_diff_svg, render_diff_text, render_report,
+                     render_suite_report, render_suite_svg,
                      render_timeline_svg, render_timeline_text, sparkline)
 from .sampler import THREAD_NAMES, IntervalSampler
 from .sinks import JsonlStreamSink, RingBufferSink, TraceSink
@@ -27,6 +29,8 @@ __all__ = ["TraceEvent", "EVENT_KINDS", "MODE_NAMES", "filter_events",
            "IntervalSampler", "THREAD_NAMES", "JsonlStreamSink",
            "RingBufferSink", "TraceSink",
            "TimelineAlignmentError", "TimelineDiff", "diff_timelines",
+           "SuiteDiff", "SuiteInvariantError",
            "count_pe_events", "PE_EVENT_KINDS", "NEUTRAL_CYCLES",
            "sparkline", "render_timeline_text", "render_diff_text",
-           "render_timeline_svg", "render_diff_svg", "render_report"]
+           "render_timeline_svg", "render_diff_svg", "render_report",
+           "render_suite_svg", "render_suite_report"]

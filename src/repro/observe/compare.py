@@ -113,6 +113,120 @@ class TimelineDiff:
                    if r["attribution"] == "pre-execution") / won
 
 
+class SuiteInvariantError(ValueError):
+    """A :class:`SuiteDiff`'s stored aggregates disagree with what its
+    raw per-workload cycle counts imply — the suite report would print
+    numbers that don't follow from its own data."""
+
+
+@dataclass
+class SuiteDiff:
+    """Suite-wide aggregate over one :class:`TimelineDiff` per workload.
+
+    The headline number is :attr:`geomean_speedup`, defined *exactly* as
+    product-of-ratios\\ :sup:`1/n` over the per-workload cycle-count
+    ratios.  :meth:`validate` recomputes every derived figure from the
+    raw cycle counts and raises :class:`SuiteInvariantError` on any
+    disagreement, so a rendered report is self-consistent by
+    construction.
+
+    ``rows`` hold one dict per workload: ``workload``, ``base_cycles``,
+    ``model_cycles``, ``base_ipc``, ``model_ipc``, ``speedup``,
+    ``cycles_saved``, ``attributed_fraction``, ``pe_intervals``,
+    ``intervals`` and ``saved_series`` (the cumulative cycles-saved
+    curve, for small-multiples rendering).
+    """
+
+    interval: int
+    base_name: str = ""
+    model_name: str = ""
+    rows: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_diffs(cls, diffs: list[TimelineDiff],
+                   base_ipcs: list[float] | None = None,
+                   model_ipcs: list[float] | None = None) -> "SuiteDiff":
+        """Aggregate per-workload diffs (all sharing one interval grid
+        and one baseline/model pair).  ``base_ipcs``/``model_ipcs`` are
+        the whole-run IPCs in the same order; omitted, they are derived
+        from each diff's own committed totals and cycle counts."""
+        if not diffs:
+            raise ValueError("suite diff needs at least one workload")
+        first = diffs[0]
+        for d in diffs[1:]:
+            if d.interval != first.interval:
+                raise TimelineAlignmentError(
+                    f"suite mixes sampling intervals: {first.interval} "
+                    f"({first.workload}) vs {d.interval} ({d.workload})")
+            if (d.base_name, d.model_name) != (first.base_name,
+                                               first.model_name):
+                raise TimelineAlignmentError(
+                    f"suite mixes config pairs: {first.base_name}->"
+                    f"{first.model_name} vs {d.base_name}->{d.model_name}")
+        suite = cls(interval=first.interval, base_name=first.base_name,
+                    model_name=first.model_name)
+        for i, d in enumerate(diffs):
+            committed = d.rows[-1]["committed"] if d.rows else 0
+            base_ipc = (base_ipcs[i] if base_ipcs is not None
+                        else committed / d.base_cycles if d.base_cycles
+                        else 0.0)
+            model_ipc = (model_ipcs[i] if model_ipcs is not None
+                         else committed / d.model_cycles if d.model_cycles
+                         else 0.0)
+            suite.rows.append({
+                "workload": d.workload,
+                "base_cycles": d.base_cycles,
+                "model_cycles": d.model_cycles,
+                "base_ipc": base_ipc,
+                "model_ipc": model_ipc,
+                "speedup": d.speedup,
+                "cycles_saved": d.base_cycles - d.model_cycles,
+                "attributed_fraction": d.attributed_fraction,
+                "pe_intervals": d.attribution_summary()["pre-execution"],
+                "intervals": len(d.rows),
+                "saved_series": [r["cycles_saved"] for r in d.rows],
+            })
+        return suite
+
+    @property
+    def geomean_speedup(self) -> float:
+        """Geometric mean of per-workload speedups — by definition the
+        product of the cycle-count ratios raised to ``1/n``."""
+        product = 1.0
+        for row in self.rows:
+            product *= row["speedup"]
+        return product ** (1.0 / len(self.rows)) if self.rows else 0.0
+
+    def validate(self) -> "SuiteDiff":
+        """Re-derive every aggregate from raw cycle counts; raise
+        :class:`SuiteInvariantError` on any exact mismatch.  Returns
+        ``self`` so call sites can chain ``suite.validate()``."""
+        if not self.rows:
+            raise SuiteInvariantError("suite diff has no workloads")
+        product = 1.0
+        for row in self.rows:
+            if not row["model_cycles"]:
+                raise SuiteInvariantError(
+                    f"{row['workload']}: model run has zero cycles")
+            ratio = row["base_cycles"] / row["model_cycles"]
+            if row["speedup"] != ratio:
+                raise SuiteInvariantError(
+                    f"{row['workload']}: stored speedup {row['speedup']!r} "
+                    f"!= base/model cycle ratio {ratio!r}")
+            saved = row["base_cycles"] - row["model_cycles"]
+            if row["cycles_saved"] != saved:
+                raise SuiteInvariantError(
+                    f"{row['workload']}: stored cycles_saved "
+                    f"{row['cycles_saved']!r} != base-model gap {saved!r}")
+            product *= ratio
+        expected = product ** (1.0 / len(self.rows))
+        if self.geomean_speedup != expected:
+            raise SuiteInvariantError(
+                f"geomean {self.geomean_speedup!r} != product-of-ratios^"
+                f"(1/{len(self.rows)}) = {expected!r}")
+        return self
+
+
 def _cycle_at_committed(samples: list[dict], target: int) -> float:
     """Cycle at which a run first reached ``target`` cumulative committed
     instructions, interpolating linearly inside the crossing interval."""

@@ -18,7 +18,7 @@ cached):
 
 from __future__ import annotations
 
-from .compare import TimelineDiff
+from .compare import SuiteDiff, TimelineDiff
 
 #: Eight-level unicode bars, lowest to highest.
 SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -263,6 +263,80 @@ def render_diff_svg(diff: TimelineDiff, title: str = "") -> str:
     return _svg_document(body, y0 + _H + _PAD_T, title)
 
 
+# Small-multiples grid geometry (suite SVG).
+_MINI_W, _MINI_H = 228, 72
+_MINI_COLS = 3
+_MINI_GAP_X = 18
+_MINI_GAP_Y = 44   # vertical slot above each mini panel (label strip)
+
+
+def render_suite_svg(suite: SuiteDiff, title: str = "") -> str:
+    """A :class:`SuiteDiff` as one SVG: a speedup bar panel (dashed
+    geomean rule, thin parity rule at 1.0x) over a small-multiples grid
+    — one mini panel per workload showing its cumulative cycles-saved
+    curve.  Deterministic like every renderer here: fixed formatting,
+    fixed palette, no timestamps.
+    """
+    title = title or (f"suite: {suite.base_name} vs {suite.model_name} "
+                      f"({len(suite.rows)} workloads)")
+    body: list[str] = []
+    y0 = _PAD_T
+
+    speedups = [r["speedup"] for r in suite.rows]
+    hi = max(speedups + [suite.geomean_speedup, 1.0], default=1.0)
+    body += _panel_header(
+        y0, f"{title} — speedup per workload "
+            f"(dashed geomean {suite.geomean_speedup:.3f}x)", 0.0, hi)
+    slot = _W / max(1, len(suite.rows))
+    bar_w = max(2.0, min(28.0, slot * 0.6))
+    for i, r in enumerate(suite.rows):
+        cx = _PAD_L + (i + 0.5) * slot
+        h = r["speedup"] / hi * _H
+        body.append(
+            f'<rect x="{_fmt(cx - bar_w / 2)}" y="{_fmt(y0 + _H - h)}" '
+            f'width="{_fmt(bar_w)}" height="{_fmt(h)}" '
+            f'fill="{_COLORS["model"]}"/>')
+        body.append(
+            f'<text x="{_fmt(cx)}" y="{_fmt(y0 + _H + 12)}" font-size="9" '
+            f'text-anchor="middle" font-family="monospace" '
+            f'fill="#333333">{r["workload"]}</text>')
+    parity_y = y0 + _H - 1.0 / hi * _H
+    body.append(_polyline([_PAD_L, _PAD_L + _W], [parity_y, parity_y],
+                          "#999999", width=0.5))
+    geo_y = y0 + _H - suite.geomean_speedup / hi * _H
+    body.append(
+        f'<polyline fill="none" stroke="{_COLORS["saved"]}" '
+        f'stroke-width="1.0" stroke-dasharray="4,3" '
+        f'points="{_fmt(_PAD_L)},{_fmt(geo_y)} '
+        f'{_fmt(_PAD_L + _W)},{_fmt(geo_y)}"/>')
+    y0 += _H + 16 + _PANEL_GAP
+
+    for i, r in enumerate(suite.rows):
+        col = i % _MINI_COLS
+        x0 = _PAD_L + col * (_MINI_W + _MINI_GAP_X)
+        py0 = y0 + (i // _MINI_COLS) * (_MINI_H + _MINI_GAP_Y) + 14
+        body.append(
+            f'<text x="{_fmt(x0)}" y="{_fmt(py0 - 4)}" font-size="10" '
+            f'font-family="monospace" fill="#333333">{r["workload"]} '
+            f'{r["speedup"]:.2f}x, saved {r["cycles_saved"]}</text>')
+        body.append(
+            f'<rect x="{_fmt(x0)}" y="{_fmt(py0)}" width="{_MINI_W}" '
+            f'height="{_MINI_H}" fill="none" stroke="#dddddd"/>')
+        series = [float(v) for v in r["saved_series"]] or [0.0]
+        n = len(series)
+        if n == 1:
+            xs = [x0 + _MINI_W / 2.0]
+        else:
+            xs = [x0 + j * (_MINI_W / (n - 1)) for j in range(n)]
+        lo = min(0.0, min(series))
+        span = (max(series) - lo) or 1.0
+        ys = [py0 + _MINI_H - (v - lo) / span * _MINI_H for v in series]
+        body.append(_polyline(xs, ys, _COLORS["saved"]))
+    grid_rows = -(-len(suite.rows) // _MINI_COLS)
+    height = y0 + grid_rows * (_MINI_H + _MINI_GAP_Y) + _PAD_T
+    return _svg_document(body, height, title)
+
+
 # ---------------------------------------------------------------------------
 # Markdown report
 # ---------------------------------------------------------------------------
@@ -380,4 +454,45 @@ def render_report(diff: TimelineDiff, model_timeline: dict, *,
                   _fills_table(model_fills)]
 
     lines += ["", "## Figure", "", render_diff_svg(diff), ""]
+    return "\n".join(lines)
+
+
+def render_suite_report(suite: SuiteDiff) -> str:
+    """Assemble the ``repro report --suite`` markdown document: the
+    per-workload speedup table (with the geomean row the suite's
+    invariant check guarantees is consistent), cumulative-win
+    sparklines, and the embedded small-multiples SVG."""
+    lines = [
+        f"# repro suite report — {suite.base_name} vs {suite.model_name}",
+        "",
+        f"- workloads: {len(suite.rows)}",
+        f"- sampling interval: {suite.interval} cycles",
+        f"- geomean speedup: {suite.geomean_speedup:.3f}x",
+        "",
+        "## Per-workload speedups",
+        "",
+    ]
+    table_rows = [
+        [r["workload"], str(r["base_cycles"]), str(r["model_cycles"]),
+         f"{r['base_ipc']:.3f}", f"{r['model_ipc']:.3f}",
+         f"{r['speedup']:.3f}x", str(r["cycles_saved"]),
+         f"{r['pe_intervals']}/{r['intervals']}",
+         f"{r['attributed_fraction'] * 100:.1f}%"]
+        for r in suite.rows]
+    table_rows.append(
+        ["**geomean**", "", "", "", "",
+         f"**{suite.geomean_speedup:.3f}x**", "", "", ""])
+    lines.append(_md_table(
+        ["workload", "base cycles", "model cycles", "base ipc", "model ipc",
+         "speedup", "saved", "PE intervals", "attributed"],
+        table_rows))
+    lines += ["", "## Cumulative cycles saved", ""]
+    width = max((len(r["workload"]) for r in suite.rows), default=0)
+    lines.append("```")
+    for r in suite.rows:
+        lines.append(f"{r['workload']:<{width}} "
+                     f"|{sparkline(r['saved_series'])}| "
+                     f"total {r['cycles_saved']}")
+    lines.append("```")
+    lines += ["", "## Figure", "", render_suite_svg(suite), ""]
     return "\n".join(lines)

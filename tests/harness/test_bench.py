@@ -23,8 +23,16 @@ def test_quick_bench_smoke(tmp_path):
     assert f6["cold_simulations"] == f6["cells"]
     assert report["single_cell"]["instr_per_s"] > 0
 
+    sr = report["suite_report"]
+    assert sr["identical_output"], "suite report cold/warm bytes differ"
+    assert sr["cold_simulations"] == sr["cells"]
+    assert sr["warm_simulations"] == 0, \
+        "warm suite pass must render purely from the seeded memo"
+    assert sr["cold_s"] > 0
+
     on_disk = json.loads(out.read_text())
     assert on_disk["figure6"]["table_sha256"] == f6["table_sha256"]
+    assert on_disk["suite_report"]["report_sha256"] == sr["report_sha256"]
 
 
 @pytest.mark.bench

@@ -1,0 +1,73 @@
+"""Hypothesis generators for the simulator invariant properties.
+
+Two program families:
+
+* :func:`build_random_program` — arbitrary straight-line ALU/load bodies
+  inside one count-down loop.  Loads are made safe by construction (the
+  address register is masked to a word index inside the allocated
+  array), so *every* generated program runs to its halt; the strategies
+  below explore instruction mix, operand wiring and trip count.
+* randomized variants of the canonical gather kernel
+  (``tests.conftest.build_gather_program``), whose hand-built p-thread
+  table exercises the SPEAR pre-execution path with speculative fills.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.isa import ProgramBuilder
+
+#: Words in the backing array every generated load stays inside.
+N_WORDS = 1 << 10
+
+#: Registers the generated loop body may read/write freely.  ``r1`` holds
+#: the array base, ``r2`` is the load-address scratch, ``r3`` the loop
+#: counter — the generator never hands those out as destinations.
+SCRATCH = ["r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"]
+
+#: One body instruction: (kind, dst, src1, src2, immediate).  Kinds:
+#: 0 add, 1 addi, 2 xor, 3 slli, 4 andi, 5 masked load.
+op_strategy = st.tuples(
+    st.integers(0, 5),
+    st.integers(0, len(SCRATCH) - 1),
+    st.integers(0, len(SCRATCH) - 1),
+    st.integers(0, len(SCRATCH) - 1),
+    st.integers(-16, 16))
+
+ops_strategy = st.lists(op_strategy, min_size=2, max_size=10)
+
+iters_strategy = st.integers(20, 120)
+
+
+def build_random_program(ops, iters: int, n: int = N_WORDS):
+    """Materialize one drawn op list as a runnable program."""
+    b = ProgramBuilder("prop", mem_bytes=1 << 20)
+    base = b.alloc(n, init=np.arange(n, dtype=np.int64))
+    b.li("r1", base)
+    b.li("r3", iters)
+    for i, reg in enumerate(SCRATCH):
+        b.li(reg, i + 1)
+    with b.loop_down("r3"):
+        for kind, d, s1, s2, imm in ops:
+            rd, rs1, rs2 = SCRATCH[d], SCRATCH[s1], SCRATCH[s2]
+            if kind == 0:
+                b.add(rd, rs1, rs2)
+            elif kind == 1:
+                b.addi(rd, rs1, imm)
+            elif kind == 2:
+                b.xor(rd, rs1, rs2)
+            elif kind == 3:
+                b.slli(rd, rs1, abs(imm) % 4)
+            elif kind == 4:
+                b.andi(rd, rs1, 0xFF)
+            else:
+                # Masked gather: rs1 -> word index in [0, n) -> byte
+                # address inside the array.  Never faults, any rs1 value.
+                b.andi("r2", rs1, n - 1)
+                b.slli("r2", "r2", 3)
+                b.add("r2", "r2", "r1")
+                b.lw(rd, "r2", 0)
+    b.halt()
+    return b.build()

@@ -202,6 +202,72 @@ class TestReport:
         assert out_a.read_bytes() == out_b.read_bytes()
 
 
+class TestSuiteReport:
+    SMALL = ["--scale", "0.05"]
+
+    def test_suite_markdown_on_stdout(self, capsys):
+        assert main(["report", "pointer", "matrix", "--suite",
+                     *self.SMALL]) == 0
+        cap = capsys.readouterr()
+        assert cap.out.startswith("# repro suite report — baseline vs "
+                                  "SPEAR-128")
+        assert "geomean" in cap.out
+        assert "| pointer |" in cap.out and "| matrix |" in cap.out
+        assert "run report:" in cap.err   # stats never pollute stdout
+
+    def test_workload_count_enforced_without_suite(self, capsys):
+        assert main(["report", *SCALE]) == 2
+        assert main(["report", "pointer", "matrix", *SCALE]) == 2
+        assert "--suite" in capsys.readouterr().err
+
+    def test_suite_serial_vs_jobs2_byte_identical(self, monkeypatch,
+                                                  capsys, tmp_path):
+        # Separate cache dirs: identical bytes must come from
+        # determinism, not from shared spilled payloads.
+        args = ["report", "pointer", "matrix", "mcf", "--suite",
+                *self.SMALL]
+        md_a, svg_a = tmp_path / "a.md", tmp_path / "a.svg"
+        md_b, svg_b = tmp_path / "b.md", tmp_path / "b.svg"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-a"))
+        assert main([*args, "-o", str(md_a), "--svg", str(svg_a)]) == 0
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-b"))
+        assert main([*args, "-o", str(md_b), "--svg", str(svg_b),
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == ""
+        assert md_a.read_bytes() == md_b.read_bytes()
+        assert svg_a.read_bytes() == svg_b.read_bytes()
+
+    def test_suite_crash_then_resume_byte_identical(self, monkeypatch,
+                                                    capsys, tmp_path):
+        args = ["report", "pointer", "matrix", "mcf", "--suite",
+                *self.SMALL]
+        ref_md, ref_svg = tmp_path / "ref.md", tmp_path / "ref.svg"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ref"))
+        assert main([*args, "-o", str(ref_md), "--svg", str(ref_svg)]) == 0
+
+        # One cell crashes its worker on every attempt: the run degrades
+        # to serial, records that cell failed, and its workload is
+        # dropped from the (partial) document.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "work"))
+        monkeypatch.setenv("REPRO_FAULTS", "crash:cell=3:times=0")
+        partial = tmp_path / "partial.md"
+        assert main([*args, "-o", str(partial), "--jobs", "2",
+                     "--retries", "0"]) == 1
+        assert partial.read_bytes() != ref_md.read_bytes()
+
+        # Resume heals the run: completed traced cells restore from the
+        # journal + cache, only the crashed cell re-simulates, and the
+        # finished document is byte-identical to the uninterrupted one.
+        monkeypatch.delenv("REPRO_FAULTS")
+        out_md, out_svg = tmp_path / "out.md", tmp_path / "out.svg"
+        assert main([*args, "-o", str(out_md), "--svg", str(out_svg),
+                     "--resume", "--jobs", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "resumed" in err
+        assert out_md.read_bytes() == ref_md.read_bytes()
+        assert out_svg.read_bytes() == ref_svg.read_bytes()
+
+
 class TestFiguresAndTables:
     def test_figure6_subset(self, capsys):
         assert main(["figure", "6", "pointer", *SCALE]) == 0
