@@ -33,7 +33,20 @@ Individual figures can also be regenerated directly — and much faster —
 via the parallel path (`python -m repro figure 6 --jobs 8`), which fans
 the workload × config matrix over worker processes and reuses the
 persistent artifact cache; the output is byte-identical to a serial run
-(see README § Performance).
+(see README § Performance).  The timing kernel is selectable with
+`--backend` (`reference` / `fast-forward` / `batched`); all backends are
+gated on byte-identical results, so figures and tables do not change
+with the backend — only wall-clock does.
+
+Measurement methodology lives in `repro bench` (`--quick` for the small
+matrix), which writes a `BENCH_pr*.json` report — **schema 3** as of
+PR 6: adds `cpus` (affinity-aware worker count), a per-section `backend`
+tag, and a `backends` section comparing per-kernel instructions/s at two
+operating points (the paper's 120-cycle memory latency and a deep-stall
+1000-cycle point) plus end-to-end batched-sweep wall-clock, each entry
+carrying an `identical_to_reference` equivalence check.  Schema 2 added
+tracer-overhead and suite-report passes; schema 1 the cold/warm
+figure-6 matrix and single-cell throughput.
 
 Absolute numbers are **not** expected to match the paper — the substrate is
 a trace-driven cycle-level model over synthetic benchmark analogs at

@@ -29,9 +29,13 @@ table {1,2,3}        regenerate a table of the paper
 bench                time compile/trace/simulate phases, write BENCH json
 journal show [RUN]   list run journals, or dump one run's JSONL events
 
-``figure``, ``table``, ``compare`` and ``report`` accept ``--jobs N``
-(parallel cell
-fan-out over processes, default CPU count), ``--cache-dir``/``--no-cache``
+``run``, ``compare``, ``analyze``, ``trace``, ``report``, ``figure`` and
+``table`` accept ``--backend`` (timing kernel: ``reference``,
+``fast-forward``, or ``batched`` which also batches latency sweeps —
+every backend produces byte-identical results).  ``figure``, ``table``,
+``compare`` and ``report`` accept ``--jobs N`` (parallel cell
+fan-out over processes, default usable-CPU count),
+``--cache-dir``/``--no-cache``
 (persistent artifact cache, default ``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``), plus the fault-tolerance knobs ``--cell-timeout``,
 ``--retries``, ``--fail-fast``/``--keep-going`` and ``--resume`` (skip
@@ -49,10 +53,11 @@ from pathlib import Path
 
 from .core.configs import PAPER_CONFIGS, BASELINE
 from .harness import (Cell, DiskCache, ExecutionPolicy, ExperimentRunner,
-                      FatalCellError, RunJournal, RunReport, build_artifacts,
-                      cells_for, default_jobs, default_journal_dir,
-                      default_workloads, figure6, figure7, figure8, figure9,
-                      list_journals, run_cells, table1, table2, table3)
+                      FatalCellError, RunJournal, RunReport, SWEEP_BACKEND,
+                      build_artifacts, cells_for, default_jobs,
+                      default_journal_dir, default_workloads, figure6,
+                      figure7, figure8, figure9, list_journals, run_cells,
+                      table1, table2, table3)
 from .harness.faults import FAULTS_ENV, FaultSpecError, active_faults
 from .observe import EVENT_KINDS, filter_events
 from .workloads import all_workload_names, get_workload
@@ -61,6 +66,16 @@ from .workloads import all_workload_names, get_workload
 def _add_scale(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=1.0,
                    help="scale every instruction budget (default 1.0)")
+
+
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    from .pipeline import KERNEL_BACKENDS
+    p.add_argument("--backend", default=None,
+                   choices=list(KERNEL_BACKENDS) + [SWEEP_BACKEND],
+                   help="timing kernel (default reference; every backend "
+                        "is byte-identical to it — fast-forward skips "
+                        "provably idle cycles, batched additionally runs "
+                        "latency sweeps through one functional pass)")
 
 
 def _add_cache(p: argparse.ArgumentParser) -> None:
@@ -100,7 +115,8 @@ def _runner(args) -> ExperimentRunner:
     if getattr(args, "use_cache", False) and not getattr(args, "no_cache",
                                                          False):
         cache = DiskCache(getattr(args, "cache_dir", None))
-    return ExperimentRunner(instruction_scale=args.scale, cache=cache)
+    return ExperimentRunner(instruction_scale=args.scale, cache=cache,
+                            backend=getattr(args, "backend", None))
 
 
 def _jobs(args) -> int:
@@ -124,7 +140,8 @@ def _run_matrix(runner: ExperimentRunner, experiment: str,
                 workloads: list[str] | None, args) -> RunReport:
     """Fault-tolerant execution of one experiment's cell matrix, journaled
     under the run's content key."""
-    cells = cells_for(experiment, workloads)
+    cells = cells_for(experiment, workloads,
+                      backend=getattr(args, "backend", None))
     journal = RunJournal.for_run(experiment, cells, runner,
                                  root=_journal_dir(args))
     return run_cells(runner, cells, _jobs(args), policy=_policy(args),
@@ -317,7 +334,8 @@ def cmd_report(args) -> int:
     workloads = list(args.workloads) or list(EVAL_WORKLOADS)
     runner = _runner(args)
     spec = report_trace_spec(args.interval)
-    cells = report_cells(workloads, [baseline, model], spec)
+    cells = report_cells(workloads, [baseline, model], spec,
+                         backend=getattr(args, "backend", None))
     experiment = "report-suite" if args.suite else "report"
     journal = RunJournal.for_run(experiment, cells, runner,
                                  root=_journal_dir(args))
@@ -549,11 +567,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", default="SPEAR-128",
                    help="machine model (default SPEAR-128)")
     _add_scale(p)
+    _add_backend(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("compare", help="baseline vs all SPEAR models")
     p.add_argument("workload")
     _add_scale(p)
+    _add_backend(p)
     _add_perf(p)
     p.set_defaults(fn=cmd_compare)
 
@@ -568,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampling interval in cycles for --timeline "
                         "(default 1000)")
     _add_scale(p)
+    _add_backend(p)
     _add_cache(p)
     p.set_defaults(fn=cmd_analyze)
 
@@ -596,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(unbounded capture, no in-memory buffering; "
                         "only --kinds applies)")
     _add_scale(p)
+    _add_backend(p)
     _add_cache(p)
     p.set_defaults(fn=cmd_trace)
 
@@ -623,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the standalone figure SVG here "
                         "(diff panels, or the suite grid with --suite)")
     _add_scale(p)
+    _add_backend(p)
     _add_perf(p)
     p.set_defaults(fn=cmd_report)
 
@@ -630,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int)
     p.add_argument("workloads", nargs="*")
     _add_scale(p)
+    _add_backend(p)
     _add_perf(p)
     p.set_defaults(fn=cmd_figure)
 
@@ -637,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int)
     p.add_argument("workloads", nargs="*")
     _add_scale(p)
+    _add_backend(p)
     _add_perf(p)
     p.set_defaults(fn=cmd_table)
 
@@ -654,9 +679,10 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="time compile/trace/simulate, write a BENCH json")
     p.add_argument("workloads", nargs="*")
     p.add_argument("--quick", action="store_true",
-                   help="smoke mode: cap --scale at 0.05 (<60 s)")
-    p.add_argument("-o", "--output", default="BENCH_pr5.json",
-                   help="report path (default BENCH_pr5.json)")
+                   help="smoke mode: single workload, --scale capped "
+                        "at 0.05 (<60 s)")
+    p.add_argument("-o", "--output", default="BENCH_pr6.json",
+                   help="report path (default BENCH_pr6.json)")
     p.add_argument("--reference",
                    help="JSON report from an older commit to compare against")
     _add_scale(p)

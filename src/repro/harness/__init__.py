@@ -21,7 +21,8 @@ from .parallel import (Cell, CellFailure, ExecutionPolicy, FatalCellError,
                        PayloadRef, PayloadResolutionError, RunReport,
                        build_artifacts, cells_for, default_jobs,
                        default_workloads, report_cells, run_cells)
-from .runner import ExperimentRunner, TracedRun, TraceSpec, WorkloadArtifacts
+from .runner import (SWEEP_BACKEND, ExperimentRunner, TracedRun, TraceSpec,
+                     WorkloadArtifacts)
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
 __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
@@ -31,7 +32,7 @@ __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "timeliness", "TimelinessResult", "timeline_diff", "diff_table",
            "per_thread_table", "build_report", "build_suite_report",
            "report_trace_spec", "suite_diff", "suite_table",
-           "ExperimentRunner", "TracedRun", "TraceSpec",
+           "ExperimentRunner", "SWEEP_BACKEND", "TracedRun", "TraceSpec",
            "WorkloadArtifacts", "TextTable",
            "arithmetic_mean", "geometric_mean",
            "CACHE_DIR_ENV", "SCHEMA_VERSION", "DiskCache",

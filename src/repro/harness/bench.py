@@ -7,6 +7,14 @@ built and simulated) and once warm (everything read through the disk
 cache).  The warm pass asserts, via the runner's build/simulation
 counters, that no compile/trace/simulate work was repaid, and both passes
 hash the rendered table to prove byte-identical output.
+
+Since schema 3 the report also carries a ``backends`` section: every
+registered timing kernel timed on the stall-heavy workloads at two
+operating points — the paper's own SPEAR cell and a deep-stall
+kilocycle-memory regime — with a byte-identity assertion against the
+reference kernel, plus one batched figure-9 latency row timed end to end
+(compile + trace once, all points through one pass) against the same
+points produced by standalone reference runs.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 import gc
 import hashlib
 import json
+import pickle
 import platform
 import sys
 from datetime import datetime, timezone
@@ -23,10 +32,13 @@ from time import perf_counter
 from ..compiler.driver import compile_spear
 from ..core.configs import BASELINE, SPEAR_128
 from ..functional.simulator import FunctionalSimulator
-from ..memory.hierarchy import MemoryHierarchy
+from ..functional.trace import Trace
+from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig, MemoryHierarchy
 from ..observe import (IntervalSampler, RingBufferSink, render_suite_svg,
                        render_timeline_svg)
+from ..pipeline.kernel import DEFAULT_BACKEND, KERNELS, make_simulator
 from ..pipeline.smt import TimingSimulator
+from ..pipeline.sweep import BatchedSweepSimulator
 from ..workloads.base import get_workload
 from .diskcache import DiskCache, default_cache_dir
 from .experiments import (EVAL_WORKLOADS, build_suite_report, figure6,
@@ -41,6 +53,22 @@ SUITE_BENCH_WORKLOADS = 3
 
 #: Workload used for the single-cell phase timings.
 SINGLE_CELL_WORKLOAD = "pointer"
+
+#: Stall-heavy workloads the backend comparison times (where the
+#: fast-forward kernel's idle-skip has the most cycles to reclaim).
+BACKEND_BENCH_WORKLOADS = ("pointer", "mcf")
+
+#: Latency points of the bench's figure-9-style sweep row.
+SWEEP_BENCH_POINTS = 3
+
+#: Deep-stall operating point for the backend comparison: the baseline
+#: (no-SPEAR) machine against kilocycle memory.  The paper's 2004-era
+#: 120-cycle point keeps the pipeline busy enough that idle-skip only
+#: buys ~1.1x there (recorded per workload as ``paper_point``); modern
+#: cores see effective DRAM latencies of many hundreds of cycles, and in
+#: that regime the reference kernel burns most of its wall-clock ticking
+#: provably idle cycles one by one.
+STRESS_LATENCY = LatencyConfig(l1=1, l2=20, memory=1000)
 
 
 def _sha256(text: str) -> str:
@@ -72,9 +100,13 @@ def _suite_report_pass(cache: DiskCache, scale: float, jobs: int,
     return perf_counter() - t0, _sha256(md + svg), runner
 
 
-def _single_cell_phases(scale: float) -> dict:
-    """Time compile / trace / simulate separately, uncached."""
-    workload = get_workload(SINGLE_CELL_WORKLOAD)
+def _prepare_cell(name: str, scale: float):
+    """Compile and functionally trace one workload, uncached.
+
+    Returns ``(binary, measured, warmup, compile_s, trace_s)`` — the raw
+    inputs every simulate timing below feeds to a kernel directly.
+    """
+    workload = get_workload(name)
     train = workload.program("train")
     evalp = workload.program("eval")
 
@@ -92,9 +124,27 @@ def _single_cell_phases(scale: float) -> dict:
     trace_s = perf_counter() - t0
 
     warm_budget = min(warm_budget, max(0, len(full.entries) - eval_budget))
-    from ..functional.trace import Trace
     measured = Trace(full.entries[warm_budget:],
                      program_name=full.program_name, halted=full.halted)
+    return binary, measured, full.entries[:warm_budget], compile_s, trace_s
+
+
+def _timed_run(sim) -> tuple[float, object]:
+    """One gc-paused timing sample (pyperf discipline) of ``sim.run()``."""
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = perf_counter()
+        result = sim.run()
+        return perf_counter() - t0, result
+    finally:
+        gc.enable()
+
+
+def _single_cell_phases(scale: float) -> dict:
+    """Time compile / trace / simulate separately, uncached."""
+    binary, measured, warmup, compile_s, trace_s = _prepare_cell(
+        SINGLE_CELL_WORKLOAD, scale)
     # Best of five with the collector paused around each sample (pyperf
     # discipline): a single run is too noisy on a loaded box for the
     # throughput ratio this report exists to track, and gen-0 GC pauses
@@ -103,15 +153,8 @@ def _single_cell_phases(scale: float) -> dict:
     for _ in range(5):
         memory = MemoryHierarchy(latencies=SPEAR_128.latencies)
         sim = TimingSimulator(measured, SPEAR_128, binary.table, memory,
-                              warmup=full.entries[:warm_budget])
-        gc.collect()
-        gc.disable()
-        try:
-            t0 = perf_counter()
-            result = sim.run()
-            elapsed = perf_counter() - t0
-        finally:
-            gc.enable()
+                              warmup=warmup)
+        elapsed, result = _timed_run(sim)
         if simulate_s is None or elapsed < simulate_s:
             simulate_s = elapsed
 
@@ -125,17 +168,10 @@ def _single_cell_phases(scale: float) -> dict:
     for _ in range(5):
         memory = MemoryHierarchy(latencies=SPEAR_128.latencies)
         sim = TimingSimulator(measured, SPEAR_128, binary.table, memory,
-                              warmup=full.entries[:warm_budget],
+                              warmup=warmup,
                               tracer=RingBufferSink(65536),
                               sampler=IntervalSampler(1000))
-        gc.collect()
-        gc.disable()
-        try:
-            t0 = perf_counter()
-            traced_result = sim.run()
-            elapsed = perf_counter() - t0
-        finally:
-            gc.enable()
+        elapsed, traced_result = _timed_run(sim)
         if traced_s is None or elapsed < traced_s:
             traced_s = elapsed
 
@@ -149,6 +185,7 @@ def _single_cell_phases(scale: float) -> dict:
     return {
         "workload": SINGLE_CELL_WORKLOAD,
         "config": SPEAR_128.name,
+        "backend": TimingSimulator.backend,
         "compile_s": compile_s,
         "trace_s": trace_s,
         "simulate_s": simulate_s,
@@ -162,6 +199,110 @@ def _single_cell_phases(scale: float) -> dict:
     }
 
 
+def _time_backends(cell, config, latencies) -> dict:
+    """Best-of-3 every registered kernel on one (cell, config, latency)
+    point, asserting byte identity against the reference kernel (pickle
+    equality — the equivalence gate, re-checked on the bench's own
+    cells), so the recorded speedups are pure wall-clock."""
+    binary, measured, warmup = cell
+    reference_blob = None
+    reference_s = None
+    per_backend = {}
+    cfg = config if latencies == config.latencies \
+        else config.with_latencies(latencies)
+    for backend in KERNELS:
+        best = None
+        result = None
+        for _ in range(3):
+            memory = MemoryHierarchy(latencies=latencies)
+            sim = make_simulator(backend, measured, cfg, binary.table,
+                                 memory, warmup=warmup)
+            elapsed, result = _timed_run(sim)
+            if best is None or elapsed < best:
+                best = elapsed
+        blob = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+        if backend == DEFAULT_BACKEND:
+            reference_blob = blob
+            reference_s = best
+        per_backend[backend] = {
+            "backend": backend,
+            "config": cfg.name,
+            "memory_latency": latencies.memory,
+            "simulate_s": best,
+            "instr_per_s": len(measured) / best if best else 0.0,
+            "cycles": result.stats.cycles,
+            "identical_to_reference": blob == reference_blob,
+            "speedup_vs_reference": (reference_s / best
+                                     if best else float("inf")),
+        }
+    return per_backend
+
+
+def _backend_comparison(scale: float) -> dict:
+    """Time every registered kernel on the stall-heavy workloads, plus one
+    batched latency sweep against independent reference runs.
+
+    Each workload is timed at two operating points: the paper's own cell
+    (SPEAR @ 120-cycle memory, ``paper_point``) and the deep-stall
+    :data:`STRESS_LATENCY` regime (``workloads``, the headline numbers)
+    where idle-skip has room to matter.
+    """
+    section = {
+        "stress_latency": {"l1": STRESS_LATENCY.l1, "l2": STRESS_LATENCY.l2,
+                           "memory": STRESS_LATENCY.memory},
+        "workloads": {},
+        "paper_point": {},
+    }
+    for name in BACKEND_BENCH_WORKLOADS:
+        binary, measured, warmup, _, _ = _prepare_cell(name, scale)
+        cell = (binary, measured, warmup)
+        section["workloads"][name] = _time_backends(
+            cell, BASELINE, STRESS_LATENCY)
+        section["paper_point"][name] = _time_backends(
+            cell, SPEAR_128, SPEAR_128.latencies)
+
+    # One figure-9 row (the baseline config's three longest-latency
+    # points), end to end: the batched backend compiles and functionally
+    # traces the workload once and runs every point through that single
+    # pass, versus three standalone reference runs each repaying
+    # compile + trace + warmup — exactly what three uncached
+    # single-point `repro run` invocations cost.
+    lats = list(FIG9_LATENCIES[-SWEEP_BENCH_POINTS:])
+    t0 = perf_counter()
+    binary, measured, warmup, _, _ = _prepare_cell(SINGLE_CELL_WORKLOAD,
+                                                   scale)
+    batched = BatchedSweepSimulator(measured, BASELINE, lats, binary.table,
+                                    warmup=warmup).run()
+    batched_s = perf_counter() - t0
+    t0 = perf_counter()
+    independent = []
+    for lat in lats:
+        binary, measured, warmup, _, _ = _prepare_cell(SINGLE_CELL_WORKLOAD,
+                                                       scale)
+        cfg = BASELINE if lat == BASELINE.latencies \
+            else BASELINE.with_latencies(lat)
+        memory = MemoryHierarchy(latencies=lat)
+        independent.append(TimingSimulator(measured, cfg, binary.table,
+                                           memory, warmup=warmup).run())
+    independent_s = perf_counter() - t0
+    section["sweep"] = {
+        "workload": SINGLE_CELL_WORKLOAD,
+        "config": BASELINE.name,
+        "backend": BatchedSweepSimulator.backend,
+        "points": len(lats),
+        "memory_latencies": [lat.memory for lat in lats],
+        "batched_s": batched_s,
+        "independent_reference_s": independent_s,
+        "wall_ratio": batched_s / independent_s if independent_s else 0.0,
+        "identical_results": all(
+            pickle.dumps(a, pickle.HIGHEST_PROTOCOL)
+            == pickle.dumps(b, pickle.HIGHEST_PROTOCOL)
+            for a, b in zip(batched, independent)),
+        "ipc": [r.ipc for r in batched],
+    }
+    return section
+
+
 def run_bench(*, scale: float = 1.0, jobs: int | None = None,
               cache_dir: str | Path | None = None,
               workloads: list[str] | None = None,
@@ -170,15 +311,17 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
               reference: dict | None = None) -> dict:
     """Run the benchmark; returns (and optionally writes) the report dict.
 
-    ``quick`` caps the instruction scale at 0.05 for a <60 s smoke run.
-    ``reference`` (e.g. the same measurements taken on an older commit) is
-    embedded verbatim under the ``"reference"`` key, with derived speedup
-    ratios when it carries a comparable ``single_cell`` section.
+    ``quick`` runs a <60 s smoke: the instruction scale is capped at 0.05
+    and the matrix passes cover a single workload.  ``reference`` (e.g.
+    the same measurements taken on an older commit) is embedded verbatim
+    under the ``"reference"`` key, with derived speedup ratios when it
+    carries a comparable ``single_cell`` section.
     """
+    workloads = workloads or EVAL_WORKLOADS
     if quick:
         scale = min(scale, 0.05)
+        workloads = workloads[:1]
     jobs = default_jobs() if jobs is None else jobs
-    workloads = workloads or EVAL_WORKLOADS
     cache_root = (Path(cache_dir) if cache_dir is not None
                   else default_cache_dir() / "bench")
     cache = DiskCache(cache_root)
@@ -202,6 +345,8 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
     s_warm_s, s_warm_sha, s_warm_runner = _suite_report_pass(
         cache, scale, jobs, suite_workloads)
 
+    backends = _backend_comparison(scale)
+
     late = _single_cell_phases(scale)
     if late["simulate_s"] < single_cell["simulate_s"]:
         single_cell.update(
@@ -214,16 +359,18 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
         if single_cell["simulate_s"] else 0.0)
 
     report = {
-        "bench": "pr5",
-        "schema": 2,
+        "bench": "pr6",
+        "schema": 3,
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        # Usable CPUs (affinity/cgroup aware), not the box's core count.
         "cpus": default_jobs(),
         "scale": scale,
         "jobs": jobs,
         "workloads": workloads,
         "figure6": {
+            "backend": cold_runner.backend,
             "cells": len(cells_for("figure6", workloads)),
             "cold_s": cold_s,
             "warm_s": warm_s,
@@ -236,6 +383,7 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
             "warm_simulations": warm_runner.simulations,
         },
         "suite_report": {
+            "backend": s_cold_runner.backend,
             "workloads": suite_workloads,
             "cells": len(suite_workloads) * 2,
             "cold_s": s_cold_s,
@@ -247,6 +395,7 @@ def run_bench(*, scale: float = 1.0, jobs: int | None = None,
             "warm_simulations": s_warm_runner.simulations,
         },
         "single_cell": single_cell,
+        "backends": backends,
         "cache": cache.stats(),
     }
     if reference is not None:
@@ -297,6 +446,26 @@ def render_report(report: dict) -> str:
             f"({sc['tracer_on_overhead']:.2f}x the untraced run)")
     if sc.get("render_svg_s") is not None:
         lines.append(f"  timeline SVG render: {sc['render_svg_s']:.3f} s")
+    bk = report.get("backends")
+    if bk:
+        for label, key in (("stall-stress", "workloads"),
+                           ("paper-point", "paper_point")):
+            for name, per_backend in bk.get(key, {}).items():
+                for b in per_backend.values():
+                    lines.append(
+                        f"  backend {b['backend']:13s} on {name} "
+                        f"[{label}, {b['config']} mem={b['memory_latency']}]: "
+                        f"{b['instr_per_s']:,.0f} instr/s "
+                        f"({b['speedup_vs_reference']:.2f}x reference, "
+                        f"identical: {b['identical_to_reference']})")
+        sw = bk.get("sweep")
+        if sw:
+            lines.append(
+                f"  batched sweep ({sw['workload']}, {sw['points']} latency "
+                f"points, end-to-end): {sw['batched_s']:.2f} s vs "
+                f"{sw['independent_reference_s']:.2f} s independent "
+                f"({sw['wall_ratio']:.2f}x, identical: "
+                f"{sw['identical_results']})")
     vs = report.get("vs_reference")
     if vs:
         line = (f"  vs reference:  {vs['simulate_speedup']:8.2f}x "

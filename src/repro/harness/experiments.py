@@ -20,7 +20,7 @@ from ..observe.compare import (PE_EVENT_KINDS, SuiteDiff, TimelineDiff,
                                diff_timelines)
 from ..observe.render import render_report, render_suite_report
 from ..workloads.base import all_workload_names, get_workload
-from .runner import ExperimentRunner, TracedRun, TraceSpec
+from .runner import SWEEP_BACKEND, ExperimentRunner, TracedRun, TraceSpec
 from .tables import TextTable, arithmetic_mean, geometric_mean
 
 #: The 15 evaluated benchmarks, in Table 1 order (ll4 is excluded: it only
@@ -275,15 +275,28 @@ def figure9(runner: ExperimentRunner,
             workloads: list[str] | None = None,
             latencies: list[LatencyConfig] | None = None) -> LatencySweepResult:
     """Latency sweep over the paper's six benchmarks (paper: baseline loses
-    48.5%, SPEAR-128 39.7%, SPEAR-256 38.4% at the longest latency)."""
+    48.5%, SPEAR-128 39.7%, SPEAR-256 38.4% at the longest latency).
+
+    On a runner whose backend is ``"batched"``, each (workload, config)
+    row of the sweep goes through one
+    :meth:`~repro.harness.runner.ExperimentRunner.run_sweep` batch —
+    functional trace, flag walk and warmup paid once per row instead of
+    once per latency point — with byte-identical IPC values.
+    """
     latencies = latencies or FIG9_LATENCIES
     configs = [BASELINE, SPEAR_128, SPEAR_256]
+    batched = runner.backend == SWEEP_BACKEND
     result = LatencySweepResult(latencies, configs)
     for name in workloads or FIG9_WORKLOADS:
         series: dict[str, list[float]] = {c.name: [] for c in configs}
-        for lat in latencies:
+        if batched:
             for cfg in configs:
-                series[cfg.name].append(runner.run(name, cfg, lat).ipc)
+                series[cfg.name] = [r.ipc for r in
+                                    runner.run_sweep(name, cfg, latencies)]
+        else:
+            for lat in latencies:
+                for cfg in configs:
+                    series[cfg.name].append(runner.run(name, cfg, lat).ipc)
         result.ipc[name] = series
     return result
 

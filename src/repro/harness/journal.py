@@ -38,14 +38,27 @@ def cell_key(runner, cell) -> str:
     the spilled payload, never the payload itself.  Without a cache,
     falls back to the same derivation at the global
     :data:`SCHEMA_VERSION`."""
-    config = runner.normalize_config(cell.config, cell.latencies)
     spec = getattr(cell, "trace", None)
-    if spec is not None:
-        kind = "traces"
-        payload = runner.traced_payload(cell.workload, config, spec)
-    else:
+    backend = getattr(cell, "backend", None)
+    if isinstance(cell.latencies, tuple):
+        # A batched-sweep cell's identity is the ordered set of its
+        # per-point result keys — resume trusts it only when every
+        # point's cache entry still exists.
         kind = "results"
-        payload = runner.result_payload(cell.workload, config)
+        payload = {"sweep": [
+            runner.result_payload(
+                cell.workload, runner.normalize_config(cell.config, lat),
+                backend)
+            for lat in cell.latencies]}
+    else:
+        config = runner.normalize_config(cell.config, cell.latencies)
+        if spec is not None:
+            kind = "traces"
+            payload = runner.traced_payload(cell.workload, config, spec,
+                                            backend)
+        else:
+            kind = "results"
+            payload = runner.result_payload(cell.workload, config, backend)
     if getattr(runner, "cache", None) is not None:
         return runner.cache.key_for(kind, payload)
     return content_key({"schema": SCHEMA_VERSION, "kind": kind, **payload})

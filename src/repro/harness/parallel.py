@@ -55,7 +55,7 @@ from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig
 from . import faults
 from .diskcache import DiskCache
 from .journal import RunJournal, cell_key
-from .runner import ExperimentRunner, TracedRun, TraceSpec
+from .runner import SWEEP_BACKEND, ExperimentRunner, TracedRun, TraceSpec
 
 
 @dataclass(frozen=True)
@@ -65,13 +65,25 @@ class Cell:
     With ``trace`` set the cell is a *traced* run: the worker attaches a
     ring-buffer tracer and interval sampler per the spec, and the result
     is a :class:`~repro.harness.runner.TracedRun` instead of a plain
-    ``PipelineResult``.
+    ``PipelineResult``.  ``backend`` picks the timing kernel (``None``
+    defers to the executing runner's default).
+
+    A *tuple* of latencies makes the cell a batched sweep: the worker
+    runs every point through one
+    :meth:`~repro.harness.runner.ExperimentRunner.run_sweep` pass and
+    the result is the list of per-point ``PipelineResult``s, merged into
+    the parent memo one latency at a time.
     """
 
     workload: str
     config: MachineConfig
-    latencies: LatencyConfig | None = None
+    latencies: LatencyConfig | tuple[LatencyConfig, ...] | None = None
     trace: TraceSpec | None = None
+    backend: str | None = None
+
+    @property
+    def is_sweep(self) -> bool:
+        return isinstance(self.latencies, tuple)
 
 
 @dataclass(frozen=True)
@@ -127,26 +139,41 @@ def default_workloads(experiment: str) -> list[str]:
 
 
 def cells_for(experiment: str,
-              workloads: list[str] | None = None) -> list[Cell]:
+              workloads: list[str] | None = None,
+              backend: str | None = None) -> list[Cell]:
     """Enumerate the cell matrix of one experiment, workload-major (so
     chunked submission keeps one workload's artifacts in one worker)."""
     configs = EXPERIMENT_CONFIGS[experiment]
     names = workloads or default_workloads(experiment)
     if experiment == "figure9":
-        return [Cell(n, c, lat)
+        if backend == SWEEP_BACKEND:
+            # One batched-sweep cell per matrix row: the worker pays the
+            # trace/flag/warmup fixed costs once for all latency points.
+            return [Cell(n, c, tuple(FIG9_LATENCIES), backend=backend)
+                    for n in names for c in configs]
+        return [Cell(n, c, lat, backend=backend)
                 for n in names for lat in FIG9_LATENCIES for c in configs]
-    return [Cell(n, c) for n in names for c in configs]
+    return [Cell(n, c, backend=backend) for n in names for c in configs]
 
 
 def report_cells(workloads: list[str], configs: list[MachineConfig],
-                 spec: TraceSpec) -> list[Cell]:
+                 spec: TraceSpec, backend: str | None = None) -> list[Cell]:
     """Enumerate the traced-cell matrix of a (suite) report: every
     workload under every config, all captured under one trace spec."""
-    return [Cell(n, c, trace=spec) for n in workloads for c in configs]
+    return [Cell(n, c, trace=spec, backend=backend)
+            for n in workloads for c in configs]
 
 
 def default_jobs() -> int:
-    return os.cpu_count() or 1
+    """Usable worker count: CPUs this process may actually run on (the
+    affinity mask / cgroup quota), not the machine's total core count."""
+    count = getattr(os, "process_cpu_count", None)
+    if count is not None:             # Python >= 3.13
+        return count() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 # -- policy / outcome types -------------------------------------------------
@@ -185,8 +212,12 @@ class CellFailure:
     error: str
 
     def describe(self) -> str:
-        lat = (f" mem={self.cell.latencies.memory}"
-               if self.cell.latencies is not None else "")
+        if self.cell.is_sweep:
+            lat = f" sweep[{len(self.cell.latencies)}]"
+        elif self.cell.latencies is not None:
+            lat = f" mem={self.cell.latencies.memory}"
+        else:
+            lat = ""
         return (f"{self.cell.workload}/{self.cell.config.name}{lat}: "
                 f"{self.kind} after {self.attempts} attempt(s) — {self.error}")
 
@@ -263,7 +294,8 @@ _WORKER_RUNNER: ExperimentRunner | None = None
 
 
 def _init_worker(slicer_config: SlicerConfig, scale: float,
-                 cache_dir: str | None) -> None:
+                 cache_dir: str | None,
+                 backend: str | None = None) -> None:
     global _WORKER_RUNNER
     faults.mark_worker()
     # The parent already swept stale tmp files; workers (respawned on
@@ -271,15 +303,21 @@ def _init_worker(slicer_config: SlicerConfig, scale: float,
     cache = (DiskCache(cache_dir, sweep=False)
              if cache_dir is not None else None)
     _WORKER_RUNNER = ExperimentRunner(slicer_config=slicer_config,
-                                      instruction_scale=scale, cache=cache)
+                                      instruction_scale=scale, cache=cache,
+                                      backend=backend)
 
 
 def _run_cell(cell: Cell, index: int = 0, attempt: int = 1):
     faults.inject_cell_faults(index, attempt)
+    if cell.is_sweep:
+        return _WORKER_RUNNER.run_sweep(cell.workload, cell.config,
+                                        list(cell.latencies))
     if cell.trace is None:
-        return _WORKER_RUNNER.run(cell.workload, cell.config, cell.latencies)
+        return _WORKER_RUNNER.run(cell.workload, cell.config, cell.latencies,
+                                  backend=cell.backend)
     traced = _WORKER_RUNNER.run_traced(cell.workload, cell.config,
-                                       cell.latencies, spec=cell.trace)
+                                       cell.latencies, spec=cell.trace,
+                                       backend=cell.backend)
     return _spill(_WORKER_RUNNER, cell, traced)
 
 
@@ -294,7 +332,8 @@ def _spill(runner: ExperimentRunner, cell: Cell, traced: TracedRun):
     if runner.cache is None:
         return traced
     config = runner.normalize_config(cell.config, cell.latencies)
-    payload = runner.traced_payload(cell.workload, config, cell.trace)
+    payload = runner.traced_payload(cell.workload, config, cell.trace,
+                                    cell.backend)
     key = runner.cache.key_for("traces", payload)
     return PayloadRef("traces", key, runner.cache.entry_size("traces", key))
 
@@ -360,10 +399,16 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
             if i in results:
                 if cell.trace is not None:
                     runner.seed_traced(cell.workload, cell.config,
-                                       cell.latencies, cell.trace, results[i])
+                                       cell.latencies, cell.trace, results[i],
+                                       cell.backend)
+                elif cell.is_sweep:
+                    for lat, res in zip(cell.latencies, results[i]):
+                        runner.seed_result(cell.workload, cell.config, lat,
+                                           res, cell.backend)
                 else:
                     runner.seed_result(cell.workload, cell.config,
-                                       cell.latencies, results[i])
+                                       cell.latencies, results[i],
+                                       cell.backend)
         report.wall_time = time.monotonic() - started
         if runner.cache is not None:
             report.cache_stats = runner.cache.stats()
@@ -376,8 +421,12 @@ def _memoized(runner: ExperimentRunner, cell: Cell) -> bool:
     """Whether the runner's memo already holds this cell's payload."""
     if cell.trace is not None:
         return runner.has_traced(cell.workload, cell.config, cell.latencies,
-                                 cell.trace)
-    return runner.has_result(cell.workload, cell.config, cell.latencies)
+                                 cell.trace, cell.backend)
+    if cell.is_sweep:
+        return all(runner.has_result(cell.workload, cell.config, lat,
+                                     cell.backend) for lat in cell.latencies)
+    return runner.has_result(cell.workload, cell.config, cell.latencies,
+                             cell.backend)
 
 
 def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
@@ -396,21 +445,37 @@ def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
     for cell in unique:
         restored = None
         if cell_key(runner, cell) in done and runner.cache is not None:
-            config = runner.normalize_config(cell.config, cell.latencies)
-            if cell.trace is not None:
+            if cell.is_sweep:
+                points = [runner.cache.get(
+                    "results", runner.result_payload(
+                        cell.workload,
+                        runner.normalize_config(cell.config, lat),
+                        cell.backend))
+                    for lat in cell.latencies]
+                restored = points if all(p is not None for p in points) \
+                    else None   # any evicted point: recompute the sweep
+            elif cell.trace is not None:
+                config = runner.normalize_config(cell.config, cell.latencies)
                 restored = runner.cache.get(
                     "traces",
-                    runner.traced_payload(cell.workload, config, cell.trace))
+                    runner.traced_payload(cell.workload, config, cell.trace,
+                                          cell.backend))
             else:
+                config = runner.normalize_config(cell.config, cell.latencies)
                 restored = runner.cache.get(
-                    "results", runner.result_payload(cell.workload, config))
+                    "results", runner.result_payload(cell.workload, config,
+                                                     cell.backend))
         if restored is not None:
             if cell.trace is not None:
                 runner.seed_traced(cell.workload, cell.config, cell.latencies,
-                                   cell.trace, restored)
+                                   cell.trace, restored, cell.backend)
+            elif cell.is_sweep:
+                for lat, res in zip(cell.latencies, restored):
+                    runner.seed_result(cell.workload, cell.config, lat, res,
+                                       cell.backend)
             else:
                 runner.seed_result(cell.workload, cell.config, cell.latencies,
-                                   restored)
+                                   restored, cell.backend)
             report.resumed += 1
         else:
             remaining.append(cell)
@@ -432,7 +497,8 @@ def _register_ok(runner, cell: Cell, i: int, attempts_used: int,
             config = runner.normalize_config(cell.config, cell.latencies)
             key = runner.cache.key_for(
                 "traces",
-                runner.traced_payload(cell.workload, config, cell.trace))
+                runner.traced_payload(cell.workload, config, cell.trace,
+                                      cell.backend))
             ref = f"traces/{key}"
             size = runner.cache.entry_size("traces", key)
         journal.record_cell(index=i, key=cell_key(runner, cell),
@@ -480,13 +546,17 @@ def _execute_serial(runner: ExperimentRunner, items, attempts: dict,
             t0 = time.monotonic()
             try:
                 faults.inject_cell_faults(i, attempts[i])
-                if cell.trace is not None:
+                if cell.is_sweep:
+                    result = runner.run_sweep(cell.workload, cell.config,
+                                              list(cell.latencies))
+                elif cell.trace is not None:
                     result = runner.run_traced(cell.workload, cell.config,
                                                cell.latencies,
-                                               spec=cell.trace)
+                                               spec=cell.trace,
+                                               backend=cell.backend)
                 else:
                     result = runner.run(cell.workload, cell.config,
-                                        cell.latencies)
+                                        cell.latencies, backend=cell.backend)
             except Exception as exc:
                 if _register_failure(runner, cell, i, attempts[i],
                                      "exception", exc, policy, report,
@@ -685,4 +755,5 @@ def _pool(runner: ExperimentRunner, workers: int) -> ProcessPoolExecutor:
     cache_dir = str(runner.cache.root) if runner.cache is not None else None
     return ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker,
-        initargs=(runner.slicer_config, runner.instruction_scale, cache_dir))
+        initargs=(runner.slicer_config, runner.instruction_scale, cache_dir,
+                  runner.backend))

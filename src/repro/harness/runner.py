@@ -25,12 +25,14 @@ from ..core.configs import MachineConfig
 from ..core.spear_binary import SpearBinary
 from ..functional.simulator import FunctionalSimulator
 from ..functional.trace import Trace
-from ..memory.hierarchy import LatencyConfig, MemoryHierarchy
+from ..memory.hierarchy import FIG9_LATENCIES, LatencyConfig, MemoryHierarchy
 from ..observe.events import TraceEvent
 from ..observe.sampler import IntervalSampler
 from ..observe.sinks import JsonlStreamSink, RingBufferSink
-from ..pipeline.smt import TimingSimulator
+from ..pipeline.fastforward import FastForwardSimulator
+from ..pipeline.kernel import DEFAULT_BACKEND, make_simulator, resolve_kernel
 from ..pipeline.stats import PipelineResult
+from ..pipeline.sweep import BatchedSweepSimulator
 from ..workloads.base import Workload, get_workload
 from .diskcache import DiskCache
 
@@ -86,18 +88,31 @@ class WorkloadArtifacts:
     warmup_trace: list
 
 
+#: The sweep pseudo-backend: not a per-run kernel, but accepted wherever
+#: a backend knob appears — sweeps batch, single cells fall back to the
+#: sweep's inner kernel (results are byte-identical either way).
+SWEEP_BACKEND = BatchedSweepSimulator.backend
+
+
 class ExperimentRunner:
     """Caching façade over the compile → trace → simulate pipeline."""
 
     def __init__(self, *, slicer_config: SlicerConfig | None = None,
                  instruction_scale: float = 1.0,
-                 cache: DiskCache | None = None):
+                 cache: DiskCache | None = None,
+                 backend: str | None = None):
         """``instruction_scale`` scales every workload's instruction budget
         (useful to shrink CI runs or enlarge final ones).  ``cache`` is an
-        optional persistent artifact cache shared across processes."""
+        optional persistent artifact cache shared across processes.
+        ``backend`` selects the timing kernel every simulation runs on
+        (any :data:`~repro.pipeline.kernel.KERNELS` name, or ``"batched"``
+        to additionally batch latency sweeps); per-call overrides win."""
         self.slicer_config = slicer_config or SlicerConfig()
         self.instruction_scale = instruction_scale
         self.cache = cache
+        self.backend = DEFAULT_BACKEND if backend is None else backend
+        if self.backend != SWEEP_BACKEND:
+            resolve_kernel(self.backend)   # fail fast on unknown names
         self._artifacts: dict[str, WorkloadArtifacts] = {}
         self._results: dict[tuple, PipelineResult] = {}
         #: traced runs memoize separately: their results carry timelines
@@ -110,22 +125,43 @@ class ExperimentRunner:
 
     # -- cache keys -----------------------------------------------------------
 
+    def _kernel(self, backend: str | None) -> str:
+        """The per-run kernel name a backend choice resolves to.
+
+        ``None`` defers to the runner default; the ``batched`` sweep
+        pseudo-backend degrades to its inner kernel for single cells.
+        """
+        if backend is None:
+            backend = self.backend
+        if backend == SWEEP_BACKEND:
+            return FastForwardSimulator.backend
+        return backend
+
     def _artifact_payload(self, name: str) -> dict:
         return {"workload": name,
                 "scale": self.instruction_scale,
                 "slicer": asdict(self.slicer_config)}
 
-    def result_payload(self, name: str, config: MachineConfig) -> dict:
-        """Cache/journal key payload of one (workload, config) result."""
+    def result_payload(self, name: str, config: MachineConfig,
+                       backend: str | None = None) -> dict:
+        """Cache/journal key payload of one (workload, config) result.
+
+        Non-reference backends are tagged into the payload; the reference
+        kernel keeps the untagged (pre-backend) key, so existing caches
+        stay valid and cross-backend entries can never collide.
+        """
         payload = self._artifact_payload(name)
         payload["config"] = asdict(config)
+        kernel = self._kernel(backend)
+        if kernel != DEFAULT_BACKEND:
+            payload["backend"] = kernel
         return payload
 
     def traced_payload(self, name: str, config: MachineConfig,
-                       spec: TraceSpec) -> dict:
+                       spec: TraceSpec, backend: str | None = None) -> dict:
         """Cache/journal key payload of one traced cell — the result key
         plus the trace parameters, under the ``"traces"`` kind."""
-        payload = self.result_payload(name, config)
+        payload = self.result_payload(name, config, backend)
         payload["trace"] = spec.payload()
         return payload
 
@@ -178,33 +214,85 @@ class ExperimentRunner:
     # -- simulation -----------------------------------------------------------
 
     def run(self, name: str, config: MachineConfig,
-            latencies: LatencyConfig | None = None) -> PipelineResult:
+            latencies: LatencyConfig | None = None, *,
+            backend: str | None = None) -> PipelineResult:
         """Simulate one workload under one machine configuration."""
         config = self.normalize_config(config, latencies)
-        key = (name, config)
+        kernel = self._kernel(backend)
+        key = (name, config, kernel)
         result = self._results.get(key)
         if result is None:
             if self.cache is not None:
-                result = self.cache.get("results",
-                                        self.result_payload(name, config))
+                result = self.cache.get(
+                    "results", self.result_payload(name, config, kernel))
             if result is None:
                 art = self.artifacts(name)
                 memory = MemoryHierarchy(latencies=config.latencies)
-                sim = TimingSimulator(art.eval_trace, config, art.binary.table,
-                                      memory, warmup=art.warmup_trace)
+                sim = make_simulator(kernel, art.eval_trace, config,
+                                     art.binary.table, memory,
+                                     warmup=art.warmup_trace)
                 result = sim.run()
                 self.simulations += 1
                 if self.cache is not None:
-                    self.cache.put("results",
-                                   self.result_payload(name, config), result)
+                    self.cache.put(
+                        "results", self.result_payload(name, config, kernel),
+                        result)
             self._results[key] = result
         return result
+
+    def run_sweep(self, name: str, config: MachineConfig,
+                  latencies: list[LatencyConfig] | None = None, *,
+                  kernel: str | None = None) -> list[PipelineResult]:
+        """Simulate one workload across a memory-latency sweep, batched.
+
+        All points missing from the memo and disk cache go through one
+        :class:`~repro.pipeline.sweep.BatchedSweepSimulator` pass, which
+        pays the trace-flag walk and warmup replay once instead of once
+        per point.  Results are byte-identical to independent runs, and
+        are memoized under the sweep's inner per-run ``kernel``
+        (fast-forward unless overridden) so later single-cell runs on
+        that kernel hit them.  Returns results in ``latencies`` order.
+        """
+        if latencies is None:
+            latencies = list(FIG9_LATENCIES)
+        kernel = self._kernel(SWEEP_BACKEND if kernel is None else kernel)
+        keys, missing = [], []
+        for lat in latencies:
+            cfg = self.normalize_config(config, lat)
+            key = (name, cfg, kernel)
+            keys.append(key)
+            if key in self._results:
+                continue
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.get(
+                    "results", self.result_payload(name, cfg, kernel))
+            if cached is not None:
+                self._results[key] = cached
+            else:
+                missing.append(lat)
+        if missing:
+            art = self.artifacts(name)
+            sweep = BatchedSweepSimulator(art.eval_trace, config, missing,
+                                          art.binary.table,
+                                          warmup=art.warmup_trace,
+                                          kernel=kernel)
+            for lat, result in zip(missing, sweep.run()):
+                self.simulations += 1
+                cfg = self.normalize_config(config, lat)
+                self._results[(name, cfg, kernel)] = result
+                if self.cache is not None:
+                    self.cache.put(
+                        "results", self.result_payload(name, cfg, kernel),
+                        result)
+        return [self._results[key] for key in keys]
 
     def run_traced(self, name: str, config: MachineConfig,
                    latencies: LatencyConfig | None = None, *,
                    interval: int = 1000, capacity: int | None = 65536,
                    kinds: tuple[str, ...] | None = None,
-                   spec: TraceSpec | None = None) -> TracedRun:
+                   spec: TraceSpec | None = None,
+                   backend: str | None = None) -> TracedRun:
         """Simulate one cell with tracing and interval sampling attached.
 
         Traced runs are cached under their own kind ("traces") with the
@@ -218,10 +306,11 @@ class ExperimentRunner:
             spec = TraceSpec(interval, capacity,
                              tuple(kinds) if kinds is not None else None)
         config = self.normalize_config(config, latencies)
-        key = (name, config, spec)
+        kernel = self._kernel(backend)
+        key = (name, config, spec, kernel)
         traced = self._traced.get(key)
         if traced is None:
-            payload = self.traced_payload(name, config, spec)
+            payload = self.traced_payload(name, config, spec, kernel)
             if self.cache is not None:
                 traced = self.cache.get("traces", payload)
             if traced is None:
@@ -229,10 +318,10 @@ class ExperimentRunner:
                 sink = RingBufferSink(spec.capacity, kinds=spec.kinds)
                 sampler = IntervalSampler(spec.interval)
                 memory = MemoryHierarchy(latencies=config.latencies)
-                sim = TimingSimulator(art.eval_trace, config,
-                                      art.binary.table, memory,
-                                      warmup=art.warmup_trace,
-                                      tracer=sink, sampler=sampler)
+                sim = make_simulator(kernel, art.eval_trace, config,
+                                     art.binary.table, memory,
+                                     warmup=art.warmup_trace,
+                                     tracer=sink, sampler=sampler)
                 result = sim.run()
                 self.simulations += 1
                 traced = TracedRun(result, sink.events(), sink.emitted,
@@ -245,7 +334,8 @@ class ExperimentRunner:
     def run_streamed(self, name: str, config: MachineConfig,
                      target, latencies: LatencyConfig | None = None, *,
                      interval: int = 1000,
-                     kinds: tuple[str, ...] | None = None
+                     kinds: tuple[str, ...] | None = None,
+                     backend: str | None = None
                      ) -> tuple[PipelineResult, int]:
         """Simulate with every event streamed to ``target`` as JSONL.
 
@@ -261,9 +351,10 @@ class ExperimentRunner:
         try:
             sampler = IntervalSampler(interval)
             memory = MemoryHierarchy(latencies=config.latencies)
-            sim = TimingSimulator(art.eval_trace, config, art.binary.table,
-                                  memory, warmup=art.warmup_trace,
-                                  tracer=sink, sampler=sampler)
+            sim = make_simulator(self._kernel(backend), art.eval_trace,
+                                 config, art.binary.table, memory,
+                                 warmup=art.warmup_trace,
+                                 tracer=sink, sampler=sampler)
             result = sim.run()
             self.simulations += 1
         finally:
@@ -272,30 +363,34 @@ class ExperimentRunner:
 
     def seed_result(self, name: str, config: MachineConfig,
                     latencies: LatencyConfig | None,
-                    result: PipelineResult) -> None:
+                    result: PipelineResult,
+                    backend: str | None = None) -> None:
         """Adopt a result computed elsewhere (the parallel engine's merge)."""
         config = self.normalize_config(config, latencies)
-        self._results[(name, config)] = result
+        self._results[(name, config, self._kernel(backend))] = result
 
     def has_result(self, name: str, config: MachineConfig,
-                   latencies: LatencyConfig | None = None) -> bool:
+                   latencies: LatencyConfig | None = None,
+                   backend: str | None = None) -> bool:
         """Whether the memo already holds this cell's result — the one
         blessed membership check (parallel engine, journal resume)."""
-        return (name, self.normalize_config(config, latencies)) in self._results
+        return (name, self.normalize_config(config, latencies),
+                self._kernel(backend)) in self._results
 
     def seed_traced(self, name: str, config: MachineConfig,
                     latencies: LatencyConfig | None, spec: TraceSpec,
-                    traced: TracedRun) -> None:
+                    traced: TracedRun, backend: str | None = None) -> None:
         """Adopt a traced run computed elsewhere (the parallel engine's
         merge resolves the spilled cache entry, then seeds it here)."""
         config = self.normalize_config(config, latencies)
-        self._traced[(name, config, spec)] = traced
+        self._traced[(name, config, spec, self._kernel(backend))] = traced
 
     def has_traced(self, name: str, config: MachineConfig,
-                   latencies: LatencyConfig | None, spec: TraceSpec) -> bool:
+                   latencies: LatencyConfig | None, spec: TraceSpec,
+                   backend: str | None = None) -> bool:
         """Whether the memo already holds this traced cell."""
         config = self.normalize_config(config, latencies)
-        return (name, config, spec) in self._traced
+        return (name, config, spec, self._kernel(backend)) in self._traced
 
     def has_artifact(self, name: str) -> bool:
         """Whether ``name``'s artifacts are already memoized in-process."""

@@ -103,6 +103,40 @@ class IntervalSampler:
         if per_thread is not None:
             self._take_threads(cycle, cycles, per_thread)
 
+    def advance_idle(self, cycle: int, to_cycle: int, committed: int,
+                     ifq_occ_sum: int, ifq_per_cycle: int,
+                     ruu_occ_sum: int, ruu_per_cycle: int,
+                     mode_cycles: int, mode_per_cycle: int,
+                     l1_accesses: int, l1_misses: int,
+                     per_thread: tuple | None = None) -> None:
+        """Record every interval boundary a fast-forward jump crosses.
+
+        An idle jump advances from ``cycle`` to ``to_cycle`` with no
+        commits and no memory traffic; only the occupancy sums and mode
+        residency grow, linearly at the given per-cycle rates (their
+        ``*_sum`` arguments are the cumulative values *at* ``cycle``).
+        Boundaries land at every interval multiple in ``(cycle,
+        to_cycle]`` and are recorded through :meth:`take`, so the
+        resulting samples are byte-identical to stepping cycle by cycle.
+
+        >>> s = IntervalSampler(interval=100)
+        >>> s.take(100, 80, 500, 1000, 40, 30, 6)
+        >>> s.advance_idle(130, 350, 80, 650, 5, 1300, 10, 70, 1, 30, 6)
+        >>> [(x["cycle"], x["ipc"], x["avg_ifq_occupancy"])
+        ...  for x in s.samples[1:]]
+        [(200, 0.0, 5.0), (300, 0.0, 5.0)]
+        """
+        interval = self.interval
+        boundary = (cycle // interval + 1) * interval
+        while boundary <= to_cycle:
+            d = boundary - cycle
+            self.take(boundary, committed,
+                      ifq_occ_sum + d * ifq_per_cycle,
+                      ruu_occ_sum + d * ruu_per_cycle,
+                      mode_cycles + d * mode_per_cycle,
+                      l1_accesses, l1_misses, per_thread=per_thread)
+            boundary += interval
+
     def _take_threads(self, cycle: int, cycles: int,
                       per_thread: tuple) -> None:
         prev = self._last_threads

@@ -49,18 +49,56 @@ from .stats import PipelineResult, PipelineStats
 _IDLE, _DRAIN, _COPY, _ACTIVE = range(4)
 
 
+def trace_flags(trace: Trace, table: PThreadTable
+                ) -> tuple[bytearray, bytearray]:
+    """Per-entry (marked, d-load) indicator vectors for one trace.
+
+    Computed once per run instead of touching TraceEntry attributes and
+    pc sets per fetched instruction; a batched sweep computes them once
+    per *sweep* and shares them across its per-latency sims.
+    """
+    entries = trace.entries
+    n = len(entries)
+    marked = bytearray(n)
+    dloads = bytearray(n)
+    marked_pcs = table.marked_pcs
+    dload_pcs = table.dload_pcs
+    if marked_pcs or dload_pcs:
+        for i, e in enumerate(entries):
+            pc = e.pc
+            if pc in marked_pcs:
+                marked[i] = 1
+            if pc in dload_pcs:
+                dloads[i] = 1
+    return marked, dloads
+
+
 class TimingSimulator:
-    """One run of one trace through one machine configuration."""
+    """One run of one trace through one machine configuration.
+
+    This class is also the ``reference`` timing kernel: alternative
+    cycle-advancement backends (see :mod:`repro.pipeline.kernel`) subclass
+    it and hook :meth:`_fast_forward`, but every architectural decision —
+    fetch, decode, issue, complete, commit, the SPEAR mode machine —
+    lives here, once, so backends can only change *when* cycles are
+    processed, never *what* a cycle does.
+    """
 
     # No __slots__ here: one instance exists per run (no allocation win)
     # and tests monkeypatch bound methods on instances.
+
+    #: Timing-kernel backend name (subclasses override).
+    backend = "reference"
+    #: Whether the run loop consults :meth:`_fast_forward` each cycle.
+    _ff = False
 
     def __init__(self, trace: Trace, config: MachineConfig,
                  table: PThreadTable | None = None,
                  memory: MemoryHierarchy | None = None,
                  warmup: Trace | list | None = None,
                  tracer: TraceSink | None = None,
-                 sampler: IntervalSampler | None = None):
+                 sampler: IntervalSampler | None = None,
+                 predictor=None, flags: tuple | None = None):
         self.trace = trace
         self.config = config
         #: observability hooks — every emit site checks ``is not None``
@@ -70,10 +108,13 @@ class TimingSimulator:
         self.table = table if (table is not None and config.spear_enabled) \
             else PThreadTable.empty()
         self.mem = memory or MemoryHierarchy(latencies=config.latencies)
-        branch_targets = {}
-        self.predictor = make_predictor(config.predictor,
-                                        table_size=config.predictor_table_size,
-                                        targets=branch_targets)
+        #: ``predictor`` lets a batched sweep hand several sims one
+        #: warmed-then-cloned predictor instead of replaying warmup per
+        #: latency point; a caller who passes one also skips ``warmup``.
+        self.predictor = predictor if predictor is not None else \
+            make_predictor(config.predictor,
+                           table_size=config.predictor_table_size,
+                           targets={})
         self.prefetcher = make_prefetcher(
             config.prefetcher, block_bytes=self.mem.l1.config.block_bytes,
             degree=config.prefetch_degree)
@@ -145,36 +186,80 @@ class TimingSimulator:
         # TraceEntry attributes and pc sets per fetched instruction.
         entries = trace.entries
         self._entries = entries
-        n = len(entries)
-        marked = bytearray(n)
-        dloads = bytearray(n)
-        marked_pcs = self.table.marked_pcs
-        dload_pcs = self.table.dload_pcs
-        if marked_pcs or dload_pcs:
-            for i, e in enumerate(entries):
-                pc = e.pc
-                if pc in marked_pcs:
-                    marked[i] = 1
-                if pc in dload_pcs:
-                    dloads[i] = 1
-        self._marked_flags = marked
-        self._dload_flags = dloads
+        if flags is not None:
+            # Precomputed (marked, dload) vectors shared across a batched
+            # sweep's per-latency sims — one trace walk instead of K.
+            self._marked_flags, self._dload_flags = flags
+        else:
+            self._marked_flags, self._dload_flags = \
+                trace_flags(trace, self.table)
 
     # ------------------------------------------------------------------
     # Top-level loop
     # ------------------------------------------------------------------
 
     def run(self) -> PipelineResult:
+        """Run the whole trace and return the result (TimingKernel API)."""
+        self._run_loop(self.config.max_cycles)
+        return self._finalize()
+
+    def step(self) -> bool:
+        """Advance exactly one cycle (TimingKernel API).
+
+        Returns True while the run is incomplete, so ``while sim.step():
+        ...`` drives a run to the same state ``run()`` would reach —
+        stats are flushed at every step boundary, which is what makes
+        mid-run :meth:`stats_snapshot` meaningful.
+        """
+        n = len(self._entries)
+        if self._committed < n:
+            self._run_loop(self._cycle + 1)
+        return self._committed < n
+
+    def next_event_horizon(self) -> int:
+        """Earliest future cycle at which new work can appear if the
+        machine is otherwise idle (TimingKernel API): the next completion
+        event, the post-mispredict fetch-redirect cycle, or ``max_cycles``
+        when nothing at all is in flight (the deadlock bound)."""
+        horizon = self.config.max_cycles
+        events = self._events
+        if events:
+            horizon = min(horizon, min(events))
+        if self._await_branch_idx < 0 and self._cycle < self._fetch_resume_cycle:
+            horizon = min(horizon, self._fetch_resume_cycle)
+        return horizon
+
+    def stats_snapshot(self) -> dict:
+        """Current counters as a plain dict (TimingKernel API) — valid
+        mid-run between :meth:`step` calls, not just at the end."""
+        stats = self.stats
+        snap = stats.snapshot()
+        cycle = self._cycle
+        committed = self._committed
+        snap.update(
+            cycles=cycle, committed=committed,
+            ipc=committed / cycle if cycle else 0.0,
+            avg_ifq_occupancy=stats.ifq_occupancy_sum / cycle if cycle else 0.0,
+            avg_ruu_occupancy=stats.ruu_occupancy_sum / cycle if cycle else 0.0,
+            backend=self.backend)
+        return snap
+
+    def _run_loop(self, stop: int) -> None:
         # The per-cycle loop dominates wall clock; everything invariant is
         # hoisted into locals, the rare phases (complete / commit / mode
         # tick / issue) are only dispatched when their guard says they have
         # work, and the every-cycle phases (decode, fetch) are inlined —
         # semantics are identical to calling each phase unconditionally.
+        # Resumable: accumulators seed from the stats fields and flush back
+        # on exit, so any split of a run into ``_run_loop`` calls (one big
+        # one, per-cycle steps, fast-forward jumps) leaves identical state.
         n = len(self._entries)
         cfg = self.config
         stats = self.stats
         sstats = stats.spear
         max_cycles = cfg.max_cycles
+        if stop > max_cycles:
+            stop = max_cycles
         decode_width = cfg.decode_width
         fetch_width = cfg.fetch_width
         ruu_size = cfg.ruu_size
@@ -201,17 +286,31 @@ class TimingSimulator:
         sampling = sampler is not None
         sample_interval = sampler.interval if sampling else 0
         main_ts = self.mem.thread_stats[MAIN_THREAD]
-        ifq_occ_sum = 0
-        ruu_occ_sum = 0
-        mode_cycles = 0
-        decoded_total = 0
-        fetched_total = 0
+        ff = self._ff
+        ifq_occ_sum = stats.ifq_occupancy_sum
+        ruu_occ_sum = stats.ruu_occupancy_sum
+        mode_cycles = sstats.cycles_in_mode
+        decoded_total = stats.decoded
+        fetched_total = stats.fetched
         while self._committed < n:
             cycle = self._cycle
-            if cycle >= max_cycles:
-                raise RuntimeError(
-                    f"{cfg.name}: exceeded max_cycles={cfg.max_cycles} "
-                    f"({self._committed}/{n} committed) — likely a deadlock")
+            if cycle >= stop:
+                break
+            if (ff and cycle not in events and not main_ready
+                    and not self._pt_ready and not (rob and rob[0].done)):
+                # Fast-forward hook (no-op on the reference kernel): when
+                # the whole machine is provably idle this cycle, jump to
+                # the next cycle anything can change, updating the idle-
+                # classified stats and sampler boundaries in bulk.  The
+                # guard repeats the hook's cheapest vetoes inline so busy
+                # cycles never pay the call.
+                jump = self._fast_forward(cycle, stop, ifq_occ_sum,
+                                          ruu_occ_sum, mode_cycles)
+                if jump is not None:
+                    cycle, ifq_occ_sum, ruu_occ_sum, mode_cycles = jump
+                    self._cycle = cycle
+                    if cycle >= stop:
+                        break
             finished = events.pop(cycle, None)
             if finished is not None:
                 self._complete(finished)
@@ -373,21 +472,33 @@ class TimingSimulator:
                              ruu_occ_sum, mode_cycles, main_ts.accesses,
                              main_ts.l1_misses,
                              per_thread=self._thread_counters())
+        stats.ifq_occupancy_sum = ifq_occ_sum
+        stats.ruu_occupancy_sum = ruu_occ_sum
+        stats.decoded = decoded_total
+        stats.fetched = fetched_total
+        sstats.cycles_in_mode = mode_cycles
+        if self._committed < n and self._cycle >= max_cycles:
+            raise RuntimeError(
+                f"{cfg.name}: exceeded max_cycles={cfg.max_cycles} "
+                f"({self._committed}/{n} committed) — likely a deadlock")
+
+    def _finalize(self) -> PipelineResult:
+        """Close out a completed run: tail sampler interval, final stats
+        fields, and the :class:`PipelineResult` (TimingKernel API)."""
+        stats = self.stats
+        sampler = self._sampler
         if sampler is not None:
             # Partial tail interval (no-op if the run ended on a boundary).
-            sampler.take(self._cycle, self._committed, ifq_occ_sum,
-                         ruu_occ_sum, mode_cycles, main_ts.accesses,
+            main_ts = self.mem.thread_stats[MAIN_THREAD]
+            sampler.take(self._cycle, self._committed,
+                         stats.ifq_occupancy_sum, stats.ruu_occupancy_sum,
+                         stats.spear.cycles_in_mode, main_ts.accesses,
                          main_ts.l1_misses,
                          per_thread=self._thread_counters())
-        stats.ifq_occupancy_sum += ifq_occ_sum
-        stats.ruu_occupancy_sum += ruu_occ_sum
-        stats.decoded += decoded_total
-        stats.fetched += fetched_total
-        sstats.cycles_in_mode += mode_cycles
         stats.cycles = self._cycle
         stats.committed = self._committed
         return PipelineResult(
-            config_name=cfg.name,
+            config_name=self.config.name,
             stats=stats,
             memory=self.mem.snapshot(),
             predictor={"hit_ratio": self.predictor.stats.hit_ratio,
@@ -396,15 +507,31 @@ class TimingSimulator:
             workload=self.trace.program_name,
             timeline=sampler.timeline() if sampler is not None else None)
 
+    def _fast_forward(self, cycle: int, stop: int, ifq_occ_sum: int,
+                      ruu_occ_sum: int, mode_cycles: int
+                      ) -> tuple[int, int, int, int] | None:
+        """Fast-forward hook; the reference kernel never skips.
+
+        Only consulted when :attr:`_ff` is set.  An overriding backend
+        returns None when the coming cycle has (or may have) real work,
+        or the ``(new_cycle, ifq_occ_sum, ruu_occ_sum, mode_cycles)``
+        state after jumping over a provably idle stretch.
+        """
+        return None
+
     def _thread_counters(self) -> tuple:
         """Cumulative per-thread (completed, issued, l1_accesses,
         l1_misses) tuples for the sampler's per-thread series."""
         stats = self.mem.thread_stats
         completed = self._completed_by_thread
         issued = self._issued_by_thread
-        return tuple(
-            (completed[t], issued[t], stats[t].accesses, stats[t].l1_misses)
-            for t in (MAIN_THREAD, P_THREAD))
+        m, p = stats[MAIN_THREAD], stats[P_THREAD]
+        # Built literally (no genexpr/tuple() machinery): this runs at
+        # every sampler boundary of every traced run.
+        return ((completed[MAIN_THREAD], issued[MAIN_THREAD],
+                 m.accesses, m.l1_misses),
+                (completed[P_THREAD], issued[P_THREAD],
+                 p.accesses, p.l1_misses))
 
     # ------------------------------------------------------------------
     # Completion / wakeup
@@ -826,7 +953,14 @@ def simulate(trace: Trace, config: MachineConfig,
              table: PThreadTable | None = None,
              memory: MemoryHierarchy | None = None,
              tracer: TraceSink | None = None,
-             sampler: IntervalSampler | None = None) -> PipelineResult:
-    """Run ``trace`` through ``config`` and return the result."""
-    return TimingSimulator(trace, config, table, memory,
-                           tracer=tracer, sampler=sampler).run()
+             sampler: IntervalSampler | None = None,
+             backend: str = "reference") -> PipelineResult:
+    """Run ``trace`` through ``config`` and return the result.
+
+    ``backend`` selects the timing kernel (see
+    :mod:`repro.pipeline.kernel`); every backend is byte-identical to
+    ``reference``, so this is purely a wall-clock knob.
+    """
+    from .kernel import make_simulator
+    return make_simulator(backend, trace, config, table, memory,
+                          tracer=tracer, sampler=sampler).run()

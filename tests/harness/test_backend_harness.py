@@ -1,0 +1,149 @@
+"""Backend plumbing through the harness: runner memo keys, batched
+sweeps, cell matrices and the parallel engine's sweep cells.
+
+The kernels themselves are covered by ``tests/pipeline/test_kernels.py``
+and the byte-identity properties; this module pins how a backend choice
+travels through :class:`ExperimentRunner`, ``cells_for``/``run_cells``
+and the experiments that consume them.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import BASELINE, SPEAR_128
+from repro.harness import (Cell, ExperimentRunner, SWEEP_BACKEND, cells_for,
+                           default_jobs, figure9, run_cells)
+from repro.memory import LatencyConfig
+from repro.memory.hierarchy import FIG9_LATENCIES
+
+SCALE = 0.05
+
+SWEEP_ROW = [LatencyConfig(1, 12, 120), LatencyConfig(1, 20, 200)]
+
+
+def blob(result) -> bytes:
+    return pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+
+
+class TestRunnerBackend:
+    def test_default_backend(self):
+        assert ExperimentRunner(instruction_scale=SCALE).backend == "reference"
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown timing-kernel"):
+            ExperimentRunner(instruction_scale=SCALE, backend="warp-drive")
+
+    def test_sweep_pseudo_backend_accepted(self):
+        runner = ExperimentRunner(instruction_scale=SCALE,
+                                  backend=SWEEP_BACKEND)
+        assert runner.backend == SWEEP_BACKEND
+
+    def test_fast_forward_run_identical_to_reference(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        ref = runner.run("pointer", SPEAR_128)
+        ff = runner.run("pointer", SPEAR_128, backend="fast-forward")
+        assert ref is not ff                 # distinct memo keys
+        assert blob(ref) == blob(ff)
+
+    def test_backends_memoized_separately(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        runner.run("pointer", BASELINE)
+        assert runner.has_result("pointer", BASELINE)
+        assert not runner.has_result("pointer", BASELINE, None,
+                                     "fast-forward")
+        runner.run("pointer", BASELINE, backend="fast-forward")
+        assert runner.has_result("pointer", BASELINE, None, "fast-forward")
+
+    def test_result_payload_tags_non_default_backends_only(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        plain = runner.result_payload("pointer", BASELINE)
+        assert "backend" not in plain        # pre-backend cache keys survive
+        tagged = runner.result_payload("pointer", BASELINE, "fast-forward")
+        assert tagged["backend"] == "fast-forward"
+
+
+class TestRunSweep:
+    def test_sweep_matches_independent_runs(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        swept = runner.run_sweep("pointer", SPEAR_128, SWEEP_ROW)
+        independent = ExperimentRunner(instruction_scale=SCALE)
+        for lat, got in zip(SWEEP_ROW, swept):
+            assert blob(got) == blob(independent.run("pointer", SPEAR_128,
+                                                     lat))
+
+    def test_sweep_seeds_per_point_results(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        runner.run_sweep("pointer", SPEAR_128, SWEEP_ROW)
+        first = runner.simulations
+        assert first == len(SWEEP_ROW)
+        for lat in SWEEP_ROW:
+            # seeded under the sweep's inner kernel, not the default
+            assert runner.has_result("pointer", SPEAR_128, lat,
+                                     "fast-forward")
+        # every point memoized: a second sweep re-simulates nothing
+        again = runner.run_sweep("pointer", SPEAR_128, SWEEP_ROW)
+        assert runner.simulations == first
+        assert [r.ipc for r in again] == [
+            runner.run("pointer", SPEAR_128, lat,
+                       backend="fast-forward").ipc for lat in SWEEP_ROW]
+
+    def test_sweep_with_reference_kernel(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        swept = runner.run_sweep("pointer", BASELINE, SWEEP_ROW,
+                                 kernel="reference")
+        for lat, got in zip(SWEEP_ROW, swept):
+            assert blob(got) == blob(runner.run("pointer", BASELINE, lat))
+
+
+class TestFigure9Batched:
+    def test_batched_figure9_equals_reference(self):
+        reference = figure9(ExperimentRunner(instruction_scale=SCALE),
+                            ["pointer"], SWEEP_ROW)
+        batched = figure9(ExperimentRunner(instruction_scale=SCALE,
+                                           backend=SWEEP_BACKEND),
+                          ["pointer"], SWEEP_ROW)
+        assert reference.ipc == batched.ipc
+
+
+class TestSweepCells:
+    def test_figure9_batched_cell_matrix(self):
+        cells = cells_for("figure9", ["pointer"], backend=SWEEP_BACKEND)
+        plain = cells_for("figure9", ["pointer"])
+        # one sweep cell per (workload, config) row instead of one cell
+        # per latency point
+        assert len(cells) * len(FIG9_LATENCIES) == len(plain)
+        assert all(c.is_sweep and c.backend == SWEEP_BACKEND for c in cells)
+        assert all(c.latencies == tuple(FIG9_LATENCIES) for c in cells)
+        assert not any(c.is_sweep for c in plain)
+
+    def test_run_cells_merges_sweep_cells(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        cells = [Cell("pointer", SPEAR_128, tuple(SWEEP_ROW),
+                      backend=SWEEP_BACKEND)]
+        report = run_cells(runner, cells, jobs=1)
+        assert report.ok == 1
+        for lat in SWEEP_ROW:
+            assert runner.has_result("pointer", SPEAR_128, lat,
+                                     "fast-forward")
+        independent = ExperimentRunner(instruction_scale=SCALE)
+        for lat in SWEEP_ROW:
+            assert blob(runner.run("pointer", SPEAR_128, lat,
+                                   backend="fast-forward")) == \
+                blob(independent.run("pointer", SPEAR_128, lat))
+
+    def test_sweep_cells_memoized(self):
+        runner = ExperimentRunner(instruction_scale=SCALE)
+        cells = [Cell("pointer", SPEAR_128, tuple(SWEEP_ROW),
+                      backend=SWEEP_BACKEND)]
+        run_cells(runner, cells, jobs=1)
+        report = run_cells(runner, cells, jobs=1)
+        assert report.total == 0             # fully memoized second pass
+
+
+class TestDefaultJobs:
+    def test_default_jobs_positive(self):
+        jobs = default_jobs()
+        assert isinstance(jobs, int) and jobs >= 1

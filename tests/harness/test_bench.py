@@ -30,6 +30,20 @@ def test_quick_bench_smoke(tmp_path):
         "warm suite pass must render purely from the seeded memo"
     assert sr["cold_s"] > 0
 
+    assert report["schema"] == 3
+    assert report["cpus"] >= 1
+    bk = report["backends"]
+    for point in ("workloads", "paper_point"):
+        for per_backend in bk[point].values():
+            assert set(per_backend) == {"reference", "fast-forward"}
+            for b in per_backend.values():
+                assert b["identical_to_reference"], \
+                    f"{b['backend']} diverged from reference"
+                assert b["instr_per_s"] > 0
+    assert bk["sweep"]["identical_results"], \
+        "batched sweep diverged from independent reference runs"
+    assert bk["sweep"]["points"] == len(bk["sweep"]["ipc"])
+
     on_disk = json.loads(out.read_text())
     assert on_disk["figure6"]["table_sha256"] == f6["table_sha256"]
     assert on_disk["suite_report"]["report_sha256"] == sr["report_sha256"]
