@@ -3,8 +3,8 @@ persistent artifact cache, fault-tolerant parallel engine, run journal,
 fault injection and the phase-timing bench."""
 
 from .bench import render_report, run_bench
-from .diskcache import CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache, \
-    default_cache_dir
+from .diskcache import (CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache,
+                        default_cache_dir, parse_bytes)
 from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
                           LatencySweepResult, MissReductionResult,
                           REGULAR_WORKLOADS, SpeedupResult, TimelinessResult,
@@ -16,11 +16,13 @@ from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
 from .faults import (FAULTS_ENV, FaultClause, FaultSpecError, InjectedCrash,
                      InjectedFault, active_faults, parse_faults,
                      render_faults)
-from .journal import RunJournal, default_journal_dir, list_journals
+from .journal import (RunJournal, TornJournalWarning, default_journal_dir,
+                      list_journals, read_jsonl)
 from .parallel import (Cell, CellFailure, ExecutionPolicy, FatalCellError,
                        PayloadRef, PayloadResolutionError, RunReport,
-                       build_artifacts, cells_for, default_jobs,
-                       default_workloads, report_cells, run_cells)
+                       build_artifacts, cells_for, compute_cell,
+                       default_jobs, default_workloads, report_cells,
+                       run_cells)
 from .runner import (SWEEP_BACKEND, ExperimentRunner, TracedRun, TraceSpec,
                      WorkloadArtifacts)
 from .tables import TextTable, arithmetic_mean, geometric_mean
@@ -36,12 +38,14 @@ __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "WorkloadArtifacts", "TextTable",
            "arithmetic_mean", "geometric_mean",
            "CACHE_DIR_ENV", "SCHEMA_VERSION", "DiskCache",
-           "default_cache_dir", "Cell", "build_artifacts", "cells_for",
+           "default_cache_dir", "parse_bytes", "Cell", "build_artifacts",
+           "cells_for", "compute_cell",
            "default_jobs", "default_workloads", "report_cells", "run_cells",
            "PayloadRef", "PayloadResolutionError",
            "render_report", "run_bench",
            "CellFailure", "ExecutionPolicy", "FatalCellError", "RunReport",
-           "RunJournal", "default_journal_dir", "list_journals",
+           "RunJournal", "TornJournalWarning", "default_journal_dir",
+           "list_journals", "read_jsonl",
            "FAULTS_ENV", "FaultClause", "FaultSpecError", "InjectedCrash",
            "InjectedFault", "active_faults", "parse_faults",
            "render_faults"]

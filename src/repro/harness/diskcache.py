@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from . import faults
 from .faults import corrupt_cache_bytes
 
 #: Bump whenever a change to the compiler, functional simulator or timing
@@ -53,6 +54,25 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def parse_bytes(text: str) -> int:
+    """Parse a human byte budget: ``"500"``, ``"64K"``, ``"1.5M"``,
+    ``"2G"`` (powers of 1024, case-insensitive, optional ``B``)."""
+    s = text.strip().upper().removesuffix("B")
+    scale = 1
+    for suffix, factor in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if s.endswith(suffix):
+            s = s[: -1]
+            scale = factor
+            break
+    try:
+        value = float(s)
+    except ValueError:
+        raise ValueError(f"unparseable byte budget {text!r}") from None
+    if value < 0:
+        raise ValueError(f"negative byte budget {text!r}")
+    return int(value * scale)
+
+
 def content_key(payload: dict) -> str:
     """Stable hex digest of a JSON-serializable key payload."""
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
@@ -67,13 +87,14 @@ class CacheCounters:
     hits: int = 0
     misses: int = 0
     stores: int = 0
-    errors: int = 0   # corrupt/unreadable entries recovered as misses
-    sweeps: int = 0   # stale *.tmp files removed at startup
+    errors: int = 0     # corrupt/unreadable entries recovered as misses
+    sweeps: int = 0     # stale *.tmp files removed at startup
+    evictions: int = 0  # entries removed by the LRU byte-budget GC
 
     def snapshot(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "errors": self.errors,
-                "sweeps": self.sweeps}
+                "sweeps": self.sweeps, "evictions": self.evictions}
 
 
 class DiskCache:
@@ -141,24 +162,8 @@ class DiskCache:
         A corrupt or truncated entry is removed and reported as a miss —
         the caller rebuilds and overwrites it.
         """
-        counter = self._counter(kind)
-        path = self.path_for(kind, self.key_for(kind, payload))
-        if not path.is_file():
-            counter.misses += 1
-            return None
-        try:
-            with path.open("rb") as fh:
-                value = pickle.load(fh)
-        except Exception:
-            counter.errors += 1
-            counter.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        counter.hits += 1
-        return value
+        return self._load(kind, self.path_for(kind, self.key_for(kind,
+                                                                 payload)))
 
     def get_by_key(self, kind: str, key: str):
         """Load an entry addressed directly by its content key.
@@ -168,14 +173,28 @@ class DiskCache:
         resolves the heavy payload from disk.  Same miss semantics as
         :meth:`get` — corrupt entries are deleted and report ``None``.
         """
+        return self._load(kind, self.path_for(kind, key))
+
+    def _load(self, kind: str, path: Path):
+        """Shared read path of :meth:`get`/:meth:`get_by_key`.
+
+        Two distinct miss flavours: an entry that *vanished* between the
+        existence check and the open (a concurrent GC eviction or a
+        ``clear()``) is an ordinary miss — every reader must treat that
+        race as absence, never corruption; an entry that opened but
+        would not unpickle is corrupt, counted as an error and deleted.
+        """
         counter = self._counter(kind)
-        path = self.path_for(kind, key)
         if not path.is_file():
             counter.misses += 1
             return None
         try:
             with path.open("rb") as fh:
                 value = pickle.load(fh)
+        except FileNotFoundError:
+            # Evicted between is_file() and open(): a plain miss.
+            counter.misses += 1
+            return None
         except Exception:
             counter.errors += 1
             counter.misses += 1
@@ -188,9 +207,13 @@ class DiskCache:
         return value
 
     def entry_size(self, kind: str, key: str) -> int | None:
-        """On-disk size in bytes of one entry, or ``None`` if absent —
-        lets the journal record how heavy a spilled payload is without
-        ever inlining it."""
+        """On-disk size in bytes of one entry, or ``None`` if absent.
+
+        ``OSError`` (including a ``FileNotFoundError`` racing a
+        concurrent eviction) reports as absence, mirroring the
+        miss-not-error contract of :meth:`_load` — lets the journal
+        record how heavy a spilled payload is without ever inlining it.
+        """
         try:
             return self.path_for(kind, key).stat().st_size
         except OSError:
@@ -203,7 +226,8 @@ class DiskCache:
         path = self.path_for(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         data = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
-        # No-op unless a corrupt-cache fault is injected ($REPRO_FAULTS).
+        # No-ops unless the matching fault is injected ($REPRO_FAULTS).
+        faults.maybe_disk_full(kind, key)
         data = corrupt_cache_bytes(kind, key, data)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -217,6 +241,78 @@ class DiskCache:
                 pass
             raise
         self._counter(kind).stores += 1
+
+    # -- lifecycle: size accounting + GC -----------------------------------
+
+    def iter_entries(self):
+        """Yield ``(kind, key, size_bytes, mtime)`` for every entry on
+        disk.  An entry that vanishes mid-walk (concurrent eviction) is
+        simply not yielded — the same race-is-absence contract as the
+        readers."""
+        if not self.root.is_dir():
+            return
+        for path in self.root.rglob("*.pkl"):
+            parts = path.relative_to(self.root).parts
+            if len(parts) < 2:
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            yield parts[0], path.stem, st.st_size, st.st_mtime
+
+    def size_stats(self) -> dict:
+        """Per-kind on-disk accounting: ``{kind: {entries, bytes}}``
+        plus a ``total`` row — what ``repro cache stats`` prints and
+        what the GC budget is measured against."""
+        kinds: dict[str, dict] = {}
+        total_entries = total_bytes = 0
+        for kind, _key, size, _mtime in self.iter_entries():
+            row = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+            row["entries"] += 1
+            row["bytes"] += size
+            total_entries += 1
+            total_bytes += size
+        out = {kind: kinds[kind] for kind in sorted(kinds)}
+        out["total"] = {"entries": total_entries, "bytes": total_bytes}
+        return out
+
+    def gc(self, budget_bytes: int, *,
+           protect: frozenset | set = frozenset()) -> dict:
+        """Evict least-recently-used entries until the cache fits
+        ``budget_bytes``.
+
+        Eviction order is oldest mtime first (ties broken by address,
+        so two GC passes over the same tree make identical decisions).
+        ``protect`` is a set of ``"kind/key"`` addresses that are never
+        evicted regardless of budget pressure — the serve daemon passes
+        the result keys of its live jobs, so a running client can always
+        resolve what it was promised.  Returns an accounting report.
+        """
+        entries = sorted(self.iter_entries(),
+                         key=lambda e: (e[3], e[0], e[1]))
+        total = sum(e[2] for e in entries)
+        report = {"budget": budget_bytes, "examined": len(entries),
+                  "removed": 0, "freed_bytes": 0, "protected_kept": 0,
+                  "kept_entries": 0, "kept_bytes": 0}
+        excess = total - budget_bytes
+        for kind, key, size, _mtime in entries:
+            if excess <= 0:
+                break
+            if f"{kind}/{key}" in protect:
+                report["protected_kept"] += 1
+                continue
+            try:
+                self.path_for(kind, key).unlink()
+            except OSError:
+                continue   # already evicted by a concurrent pass
+            self._counter(kind).evictions += 1
+            report["removed"] += 1
+            report["freed_bytes"] += size
+            excess -= size
+        report["kept_entries"] = report["examined"] - report["removed"]
+        report["kept_bytes"] = total - report["freed_bytes"]
+        return report
 
     # -- reporting ---------------------------------------------------------
 

@@ -18,9 +18,50 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 
 from .diskcache import SCHEMA_VERSION, content_key, default_cache_dir
+
+
+class TornJournalWarning(RuntimeWarning):
+    """A journal line could not be decoded (crash mid-append) and was
+    skipped.  Only ever data loss for the record being written when the
+    writer died — every earlier record is intact by construction."""
+
+
+def read_jsonl(path: Path, *, label: str | None = None) -> list[dict]:
+    """Every intact JSONL record of ``path``, oldest first.
+
+    The crash-safety contract of every journal in the system: records
+    are appended line-at-a-time with a flush, so the only malformed
+    line a crash can produce is a truncated final one.  Such a line is
+    skipped with a :class:`TornJournalWarning` instead of raising, so a
+    reader never fails over the torn tail of a killed writer.
+    """
+    if not path.is_file():
+        return []
+    out = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            warnings.warn(
+                f"{label or path.name}: skipping torn journal line "
+                f"{lineno} ({len(line)} bytes)", TornJournalWarning,
+                stacklevel=2)
+            continue
+        if not isinstance(record, dict):
+            warnings.warn(
+                f"{label or path.name}: skipping non-record journal line "
+                f"{lineno}", TornJournalWarning, stacklevel=2)
+            continue
+        out.append(record)
+    return out
 
 
 def default_journal_dir() -> Path:
@@ -130,19 +171,11 @@ class RunJournal:
     # -- reading -----------------------------------------------------------
 
     def entries(self) -> list[dict]:
-        """Every intact record, oldest first (torn lines are skipped)."""
-        if not self.path.is_file():
-            return []
-        out = []
-        for line in self.path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                out.append(json.loads(line))
-            except ValueError:
-                continue
-        return out
+        """Every intact record, oldest first.  A torn final line (crash
+        mid-append) is skipped with a :class:`TornJournalWarning`, never
+        an error — ``--resume`` and ``journal show`` keep working on a
+        journal whose writer died."""
+        return read_jsonl(self.path, label=f"journal {self.run_id[:16]}")
 
     def completed_keys(self) -> set[str]:
         """Cell keys with at least one journaled ``ok`` — the set

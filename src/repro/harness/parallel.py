@@ -40,7 +40,10 @@ workload across the whole fleet — and not at all on a warm cache.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, \
     wait
@@ -233,6 +236,7 @@ class RunReport:
     timeouts: int = 0       #: attempts lost to the per-cell timeout
     pool_rebuilds: int = 0
     degraded: bool = False  #: fell back to in-process serial execution
+    interrupted: bool = False  #: cut short by SIGINT/SIGTERM (clean exit)
     wall_time: float = 0.0
     failures: list[CellFailure] = field(default_factory=list)
     cache_stats: dict = field(default_factory=dict)
@@ -249,13 +253,15 @@ class RunReport:
         return {"total": self.total, "ok": self.ok, "resumed": self.resumed,
                 "retried": self.retried, "timeouts": self.timeouts,
                 "failed": self.failed, "pool_rebuilds": self.pool_rebuilds,
-                "degraded": self.degraded,
+                "degraded": self.degraded, "interrupted": self.interrupted,
                 "wall_time": round(self.wall_time, 3),
                 "failures": [f.describe() for f in self.failures],
                 "cache": self.cache_stats}
 
     def render(self) -> str:
         bits = [f"{self.ok} ok"]
+        if self.interrupted:
+            bits.append("interrupted")
         if self.resumed:
             bits.append(f"{self.resumed} resumed")
         if self.retried:
@@ -298,6 +304,26 @@ def _init_worker(slicer_config: SlicerConfig, scale: float,
                  backend: str | None = None) -> None:
     global _WORKER_RUNNER
     faults.mark_worker()
+    # Forked workers inherit the parent's signal wiring.  Under the
+    # serve daemon that includes asyncio's wakeup fd — a SIGTERM sent to
+    # a worker (e.g. by the executor reaping a broken pool) would be
+    # written into the *parent's* self-pipe and read back as a shutdown
+    # request.  Detach and restore defaults so signals aimed at a worker
+    # stay in the worker.
+    signal.set_wakeup_fd(-1)
+    for _sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(_sig, signal.SIG_DFL)
+    # Die with the parent (Linux).  A crashed daemon must not leave
+    # orphan workers holding its listening socket open: connects to the
+    # stale socket file would be queued into a backlog nobody accepts,
+    # hanging clients instead of failing fast into a retry.
+    try:
+        import ctypes
+        PR_SET_PDEATHSIG = 1
+        ctypes.CDLL(None, use_errno=True).prctl(
+            PR_SET_PDEATHSIG, signal.SIGKILL, 0, 0, 0)
+    except Exception:
+        pass
     # The parent already swept stale tmp files; workers (respawned on
     # every pool rebuild) skip the cache-tree walk.
     cache = (DiskCache(cache_dir, sweep=False)
@@ -307,18 +333,27 @@ def _init_worker(slicer_config: SlicerConfig, scale: float,
                                       backend=backend)
 
 
+def compute_cell(runner: ExperimentRunner, cell: Cell, *,
+                 spill: bool = False):
+    """Execute one cell's real work on ``runner`` (no fault injection):
+    the single dispatch shared by the pool workers, the in-process
+    serial path and the serve fleet.  With ``spill`` (cross-process
+    callers) a traced payload is exchanged for its cache
+    :class:`PayloadRef` instead of riding the result pipe."""
+    if cell.is_sweep:
+        return runner.run_sweep(cell.workload, cell.config,
+                                list(cell.latencies))
+    if cell.trace is None:
+        return runner.run(cell.workload, cell.config, cell.latencies,
+                          backend=cell.backend)
+    traced = runner.run_traced(cell.workload, cell.config, cell.latencies,
+                               spec=cell.trace, backend=cell.backend)
+    return _spill(runner, cell, traced) if spill else traced
+
+
 def _run_cell(cell: Cell, index: int = 0, attempt: int = 1):
     faults.inject_cell_faults(index, attempt)
-    if cell.is_sweep:
-        return _WORKER_RUNNER.run_sweep(cell.workload, cell.config,
-                                        list(cell.latencies))
-    if cell.trace is None:
-        return _WORKER_RUNNER.run(cell.workload, cell.config, cell.latencies,
-                                  backend=cell.backend)
-    traced = _WORKER_RUNNER.run_traced(cell.workload, cell.config,
-                                       cell.latencies, spec=cell.trace,
-                                       backend=cell.backend)
-    return _spill(_WORKER_RUNNER, cell, traced)
+    return compute_cell(_WORKER_RUNNER, cell, spill=True)
 
 
 def _spill(runner: ExperimentRunner, cell: Cell, traced: TracedRun):
@@ -385,14 +420,23 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
     attempts = {i: 0 for i, _ in indexed}
     results: dict[int, object] = {}
     try:
-        if not indexed:
-            pass
-        elif jobs <= 1 or len(indexed) == 1:
-            _execute_serial(runner, indexed, attempts, policy, report,
-                            journal, results)
-        else:
-            _execute_pool(runner, indexed, attempts, policy, report,
-                          journal, results, jobs)
+        with _graceful_term():
+            if not indexed:
+                pass
+            elif jobs <= 1 or len(indexed) == 1:
+                _execute_serial(runner, indexed, attempts, policy, report,
+                                journal, results)
+            else:
+                _execute_pool(runner, indexed, attempts, policy, report,
+                              journal, results, jobs)
+    except (KeyboardInterrupt, SystemExit):
+        # Ctrl-C / SIGTERM: the pool was already torn down on the way
+        # out (every generation's ``finally`` terminates an abandoned
+        # pool), completed cells still merge below, and the journal's
+        # ``end`` record says the run was interrupted — so ``--resume``
+        # picks up exactly where the interrupt landed.
+        report.interrupted = True
+        raise
     finally:
         # Merge in submission order so rendering is order-independent.
         for i, cell in indexed:
@@ -415,6 +459,29 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
         if journal is not None and report.total:
             journal.record_end(report.summary())
     return report
+
+
+@contextlib.contextmanager
+def _graceful_term():
+    """Route SIGTERM through ``KeyboardInterrupt`` for the duration of a
+    run, so a polite kill gets the same clean unwind as Ctrl-C: pool
+    teardown, result merge, and a journaled ``interrupted`` end record.
+    Outside the main thread (the serve fleet, test harnesses) signal
+    handlers cannot be installed and the run proceeds unwrapped."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):        # exotic embedding; run unwrapped
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _memoized(runner: ExperimentRunner, cell: Cell) -> bool:
@@ -546,17 +613,7 @@ def _execute_serial(runner: ExperimentRunner, items, attempts: dict,
             t0 = time.monotonic()
             try:
                 faults.inject_cell_faults(i, attempts[i])
-                if cell.is_sweep:
-                    result = runner.run_sweep(cell.workload, cell.config,
-                                              list(cell.latencies))
-                elif cell.trace is not None:
-                    result = runner.run_traced(cell.workload, cell.config,
-                                               cell.latencies,
-                                               spec=cell.trace,
-                                               backend=cell.backend)
-                else:
-                    result = runner.run(cell.workload, cell.config,
-                                        cell.latencies, backend=cell.backend)
+                result = compute_cell(runner, cell)
             except Exception as exc:
                 if _register_failure(runner, cell, i, attempts[i],
                                      "exception", exc, policy, report,

@@ -1,0 +1,185 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+One JSON line per request over a stream socket; the client reconnects
+per call when needed, so it survives daemon restarts transparently —
+:meth:`ServeClient.wait_result` keeps polling the same (content-hash)
+job id and the restarted daemon resumes answering for it.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from . import protocol
+from .protocol import MAX_LINE, ProtocolError, parse_address
+
+
+class ServeError(RuntimeError):
+    """A failure response from the daemon (carries its wire code)."""
+
+    def __init__(self, message: str, code: int = 0, response: dict | None
+                 = None):
+        super().__init__(message)
+        self.code = code
+        self.response = response or {}
+
+
+class ServeClient:
+    """Talks to one daemon address.  Usable as a context manager; a
+    broken connection is dropped and re-dialed on the next request."""
+
+    def __init__(self, address: str, *, timeout: float = 60.0):
+        self.address = address
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buf = b""
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        addr = parse_address(self.address)
+        if addr[0] == "tcp":
+            sock = socket.create_connection((addr[1], addr[2]),
+                                            timeout=self.timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(addr[1])
+        self._sock = sock
+        self._buf = b""
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buf = b""
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _readline(self, sock: socket.socket) -> bytes:
+        while b"\n" not in self._buf:
+            if len(self._buf) > MAX_LINE:
+                raise ProtocolError("response line too long")
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return line + b"\n"
+
+    def request(self, op: str, **fields) -> dict:
+        """One request/response round trip.  Raises :class:`ServeError`
+        on an ``ok: false`` response, ``OSError`` when the daemon is
+        unreachable (callers that poll catch and retry)."""
+        payload = {"op": op, **fields}
+        try:
+            sock = self._connect()
+            sock.sendall(protocol.encode(payload))
+            line = self._readline(sock)
+        except (OSError, ConnectionError):
+            self.close()
+            raise
+        resp = protocol.decode(line)
+        if not resp.get("ok"):
+            raise ServeError(resp.get("error", "request failed"),
+                             code=int(resp.get("code", 0)), response=resp)
+        return resp
+
+    # -- the daemon's ops --------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def submit(self, spec: dict | protocol.JobSpec) -> dict:
+        if isinstance(spec, protocol.JobSpec):
+            spec = spec.to_dict()
+        return self.request("submit", spec=spec)
+
+    def status(self, job_id: str | None = None) -> dict:
+        return self.request("status", **({} if job_id is None
+                                         else {"id": job_id}))
+
+    def result(self, job_id: str) -> dict:
+        return self.request("result", id=job_id)
+
+    def retry(self, job_id: str) -> dict:
+        return self.request("retry", id=job_id)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def events(self, after: int = 0) -> dict:
+        return self.request("events", after=after)
+
+    def gc(self, budget: int | None = None) -> dict:
+        return self.request("gc", **({} if budget is None
+                                     else {"budget": budget}))
+
+    def drain(self) -> dict:
+        return self.request("drain")
+
+    def stop(self) -> dict:
+        return self.request("stop")
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 10.0, poll: float = 0.05) -> dict:
+        """Ping until the daemon answers (it may still be binding).
+
+        Each attempt uses a short socket timeout: a connect that lands
+        in a dead listener's backlog (a crashed daemon's socket file the
+        restart has not yet replaced) must give up and re-dial, not eat
+        the whole readiness budget waiting on a reply that cannot come.
+        """
+        deadline = time.monotonic() + timeout
+        saved = self.timeout
+        while True:
+            try:
+                self.timeout = min(1.0, saved)
+                resp = self.ping()
+                if self._sock is not None:
+                    self._sock.settimeout(saved)
+                return resp
+            except (OSError, ConnectionError, ProtocolError):
+                self.close()
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"no daemon at {self.address} "
+                        f"after {timeout:g}s") from None
+                time.sleep(poll)
+            finally:
+                self.timeout = saved
+
+    def wait_result(self, job_id: str, timeout: float = 300.0,
+                    poll: float = 0.1) -> dict:
+        """Poll until the job is DONE and return its ``result`` response.
+
+        Robust across daemon crashes: connection errors and 409 (not
+        ready / requeued) keep polling; FAILED (500) raises
+        :class:`ServeError` immediately.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.result(job_id)
+            except ServeError as exc:
+                if exc.code not in (404, 409):
+                    raise
+                # 404: a restarted daemon may still be adopting; 409:
+                # not finished yet.  Both mean "poll again".
+            except (OSError, ConnectionError):
+                pass                     # daemon down/restarting
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id[:16]} not done "
+                                   f"after {timeout:g}s")
+            time.sleep(poll)

@@ -1,0 +1,218 @@
+"""Wire protocol and job vocabulary of the ``repro serve`` daemon.
+
+The protocol is deliberately boring: UTF-8 JSON, one object per line,
+over a unix-domain (or TCP) stream socket.  A client writes one request
+line, the server answers with one response line; connections may be
+reused for further requests but carry no state.  Every response has an
+``ok`` field; failures add ``error`` and an HTTP-flavoured ``code``
+(400 malformed, 404 unknown job, 409 not ready, 429 queue full,
+503 draining).
+
+A *job* is one simulation request — ``(workload, config, latency
+override, backend, trace spec)`` — described by :class:`JobSpec`.  Its
+identity is the content-hash cache key of its result (exactly what
+:func:`repro.harness.journal.cell_key` derives), which buys three
+properties at once: duplicate submissions collapse onto one job, a
+submission whose result already sits in the shared
+:class:`~repro.harness.diskcache.DiskCache` completes without
+simulating anything (read-through), and a job id stays valid across
+daemon crashes and restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..core.configs import PAPER_CONFIGS, MachineConfig
+from ..harness.diskcache import default_cache_dir
+from ..harness.parallel import Cell
+from ..harness.runner import SWEEP_BACKEND, TraceSpec
+
+#: Maximum request/response line length (a spec is tiny; a status-all
+#: response over a big job table is the sizing case).
+MAX_LINE = 1 << 20
+
+#: Forgiving shorthands for the paper's config names, shared with the
+#: CLI (``--config spear`` means SPEAR-128 everywhere).
+CONFIG_ALIASES = {
+    "base": "baseline",
+    "spear": "SPEAR-128",
+    "spear-sf": "SPEAR.sf-128",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed request, response or job spec."""
+
+
+def encode(obj: dict) -> bytes:
+    """One wire line: JSON + newline.
+
+    Key order is *preserved*, not sorted: responses embed result
+    summaries whose insertion order is part of the CLI's byte-exact
+    output contract (``repro serve result`` must print what ``repro
+    run`` prints).  Deterministic all the same — both sides build their
+    dicts in deterministic order.
+    """
+    return json.dumps(obj, default=str).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable wire line: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("wire line is not a JSON object")
+    return obj
+
+
+def resolve_config(name: str) -> MachineConfig | None:
+    """A paper config by exact name or case-insensitive alias."""
+    config = PAPER_CONFIGS.get(name)
+    if config is not None:
+        return config
+    alias = CONFIG_ALIASES.get(name.lower(), name)
+    for key, cfg in PAPER_CONFIGS.items():
+        if key.lower() == alias.lower():
+            return cfg
+    return None
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submittable simulation request.
+
+    ``memory`` overrides the main-memory latency of the chosen config
+    (the figure-9 axis); ``trace`` attaches observability, making the
+    job's product a spilled
+    :class:`~repro.harness.runner.TracedRun` instead of a plain
+    ``PipelineResult``.
+    """
+
+    workload: str
+    config: str = "SPEAR-128"
+    memory: int | None = None
+    backend: str | None = None
+    trace: TraceSpec | None = None
+
+    #: DiskCache kind the job's product lives under.
+    @property
+    def kind(self) -> str:
+        return "traces" if self.trace is not None else "results"
+
+    def validate(self) -> None:
+        """Raise :class:`ProtocolError` on anything a worker would later
+        choke on — submission is the cheap place to fail."""
+        from ..pipeline import KERNEL_BACKENDS
+        from ..workloads import all_workload_names
+        if self.workload not in all_workload_names():
+            raise ProtocolError(f"unknown workload {self.workload!r}")
+        if resolve_config(self.config) is None:
+            raise ProtocolError(
+                f"unknown config {self.config!r} "
+                f"(known: {sorted(PAPER_CONFIGS)})")
+        if self.backend is not None and \
+                self.backend not in list(KERNEL_BACKENDS) + [SWEEP_BACKEND]:
+            raise ProtocolError(f"unknown backend {self.backend!r}")
+        if self.memory is not None and self.memory <= 0:
+            raise ProtocolError(f"memory latency must be positive, "
+                                f"got {self.memory}")
+
+    def cell(self) -> Cell:
+        """The parallel-engine cell this spec describes (validates)."""
+        self.validate()
+        config = resolve_config(self.config)
+        latencies = None
+        if self.memory is not None:
+            if self.memory < config.latencies.l2:
+                raise ProtocolError(
+                    f"memory latency {self.memory} below the config's L2 "
+                    f"latency {config.latencies.l2}")
+            latencies = replace(config.latencies, memory=self.memory)
+        return Cell(self.workload, config, latencies, trace=self.trace,
+                    backend=self.backend)
+
+    def to_dict(self) -> dict:
+        d = {"workload": self.workload, "config": self.config}
+        if self.memory is not None:
+            d["memory"] = self.memory
+        if self.backend is not None:
+            d["backend"] = self.backend
+        if self.trace is not None:
+            d["trace"] = self.trace.payload()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        if not isinstance(d, dict):
+            raise ProtocolError("job spec must be a JSON object")
+        unknown = set(d) - {"workload", "config", "memory", "backend",
+                            "trace"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown job spec field(s): {', '.join(sorted(unknown))}")
+        if "workload" not in d or not isinstance(d["workload"], str):
+            raise ProtocolError("job spec needs a workload name")
+        trace = None
+        if d.get("trace") is not None:
+            t = d["trace"]
+            if not isinstance(t, dict):
+                raise ProtocolError("trace spec must be a JSON object")
+            try:
+                kinds = t.get("kinds")
+                trace = TraceSpec(
+                    interval=int(t.get("interval", 1000)),
+                    capacity=(None if t.get("capacity") in (None, 0)
+                              else int(t["capacity"])),
+                    kinds=tuple(kinds) if kinds else None)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"bad trace spec: {exc}") from None
+        memory = d.get("memory")
+        if memory is not None:
+            try:
+                memory = int(memory)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"bad memory latency {memory!r}") from None
+        backend = d.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise ProtocolError(f"bad backend {backend!r}")
+        config = d.get("config", "SPEAR-128")
+        if not isinstance(config, str):
+            raise ProtocolError(f"bad config {config!r}")
+        return cls(d["workload"], config, memory, backend, trace)
+
+
+# -- addresses --------------------------------------------------------------
+
+def default_state_dir(cache_dir: str | Path | None = None) -> Path:
+    """Server state (journal, socket, server.json) lives next to the
+    cache it serves: ``<cache-dir>/serve``."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return root / "serve"
+
+
+def default_address(state_dir: str | Path | None = None,
+                    cache_dir: str | Path | None = None) -> str:
+    root = Path(state_dir) if state_dir is not None \
+        else default_state_dir(cache_dir)
+    return str(root / "serve.sock")
+
+
+def parse_address(text: str) -> tuple:
+    """``"tcp:HOST:PORT"`` → ``("tcp", host, port)``; anything else is a
+    unix-socket path → ``("unix", path)``."""
+    if text.startswith("tcp:"):
+        rest = text[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host:
+            raise ProtocolError(f"bad TCP address {text!r} "
+                                f"(expected tcp:HOST:PORT)")
+        try:
+            return ("tcp", host, int(port))
+        except ValueError:
+            raise ProtocolError(f"bad TCP port in {text!r}") from None
+    return ("unix", text)

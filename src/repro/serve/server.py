@@ -1,0 +1,508 @@
+"""The ``repro serve`` daemon: a crash-tolerant simulation job service.
+
+One long-lived process owning a :class:`~repro.harness.diskcache.DiskCache`
+and a :class:`~repro.serve.fleet.WorkerFleet`, speaking the JSON-lines
+protocol of :mod:`repro.serve.protocol` over a unix (or TCP) socket.
+
+Durability model — every promise lives in exactly one place:
+
+- *what was asked* and *where each job stands*: the append-only
+  :class:`~repro.serve.state.ServerJournal` (each transition journaled
+  before the daemon acts on it);
+- *the answers*: the content-addressed cache, under the job id itself.
+
+So a restarted daemon needs no handshake with anyone: it replays the
+journal, re-verifies every ``DONE`` job against the cache, requeues
+whatever was in flight, and carries on.  Clients poll with the same job
+ids across the restart.
+
+Flow control: at most ``max_jobs`` live (non-terminal) jobs are admitted
+(submission past that is rejected with a 429-style error — the bounded
+admission queue), and at most ``workers`` jobs are handed to the fleet
+at once, so ``PENDING`` is an honest backpressure signal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import time
+from collections import deque
+from pathlib import Path
+
+from ..harness.diskcache import DiskCache, parse_bytes  # noqa: F401
+from ..harness.journal import cell_key
+from ..harness.parallel import ExecutionPolicy
+from ..harness.runner import ExperimentRunner
+from ..observe.events import (JOB_DONE, JOB_FAILED, JOB_PENDING, JOB_RUNNING,
+                              JobEvent)
+from . import protocol
+from .fleet import WorkerFleet
+from .protocol import MAX_LINE, JobSpec, ProtocolError, parse_address
+from .state import JobRecord, ServerJournal, check_transition
+
+#: Live (non-terminal) job states — what the admission cap counts.
+_LIVE = (JOB_PENDING, JOB_RUNNING)
+
+
+class ServeServer:
+    """The daemon.  Construct, then ``asyncio.run(server.serve())``."""
+
+    def __init__(self, runner: ExperimentRunner, state_dir: str | Path, *,
+                 address: str | None = None, workers: int = 2,
+                 policy: ExecutionPolicy | None = None, max_jobs: int = 64,
+                 gc_budget: int | None = None):
+        if runner.cache is None:
+            raise ValueError("the serve daemon requires a DiskCache "
+                             "(results live there, not in memory)")
+        self.runner = runner
+        self.cache: DiskCache = runner.cache
+        self.state_dir = Path(state_dir)
+        self.address = address if address is not None \
+            else protocol.default_address(self.state_dir)
+        self.workers = max(1, workers)
+        self.max_jobs = max(1, max_jobs)
+        self.gc_budget = gc_budget
+        self.journal = ServerJournal(self.state_dir / "journal.jsonl")
+        self.jobs: dict[str, JobRecord] = {}
+        self.queue: deque[str] = deque()      # PENDING ids, oldest first
+        self.inflight: set[str] = set()
+        self.events: list[JobEvent] = []
+        self._seq = 0
+        self.draining = False
+        self.started = time.time()
+        self._stop = asyncio.Event()
+        self._gc_running = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.fleet = WorkerFleet(runner, workers=self.workers,
+                                 policy=policy, on_done=self._fleet_done)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _event(self, job: JobRecord, detail: str = "") -> None:
+        self._seq += 1
+        self.events.append(JobEvent(self._seq, job.id, job.state, detail))
+
+    def _transition(self, job: JobRecord, new_state: str,
+                    detail: str = "", *, spec: bool = False) -> None:
+        """Move a job along a legal edge: validate, mutate, journal
+        (durable before acted upon), then record the in-memory event."""
+        if not spec:                    # first PENDING has no old state
+            check_transition(job.state, new_state)
+        job.state = new_state
+        job.detail = detail
+        job.updated = time.time()
+        self.journal.record_job(job, spec=spec)
+        self._event(job, detail)
+
+    def _live_jobs(self) -> int:
+        return sum(1 for j in self.jobs.values() if j.state in _LIVE)
+
+    def _protected_refs(self) -> frozenset:
+        """Cache addresses GC must never evict: every non-FAILED job's
+        result (DONE entries are the promise; PENDING/RUNNING entries
+        may be mid-write by a worker)."""
+        refs = set()
+        for job in self.jobs.values():
+            if job.state != JOB_FAILED:
+                kind = "traces" if job.spec.get("trace") is not None \
+                    else "results"
+                refs.add(f"{kind}/{job.id}")
+        return frozenset(refs)
+
+    # -- adoption (restart path) -------------------------------------------
+
+    def adopt(self) -> dict:
+        """Replay the journal and converge every job to a state the
+        restarted daemon can honor.  Returns a small report."""
+        self.jobs = self.journal.replay()
+        report = {"jobs": len(self.jobs), "requeued": 0, "verified": 0,
+                  "failed": 0}
+        for job in sorted(self.jobs.values(), key=lambda j: j.submitted):
+            if job.state == JOB_DONE:
+                kind = "traces" if job.spec.get("trace") is not None \
+                    else "results"
+                if self.cache.entry_size(kind, job.id) is not None:
+                    report["verified"] += 1
+                    continue
+                self._transition(job, JOB_PENDING,
+                                 "re-adopted: cache entry lost")
+                self.queue.append(job.id)
+                report["requeued"] += 1
+            elif job.state == JOB_RUNNING:
+                self._transition(job, JOB_PENDING,
+                                 "re-adopted after daemon restart")
+                self.queue.append(job.id)
+                report["requeued"] += 1
+            elif job.state == JOB_PENDING:
+                self.queue.append(job.id)
+                report["requeued"] += 1
+            else:
+                report["failed"] += 1
+        self.journal.record_server("adopt", **report)
+        return report
+
+    # -- fleet bridge ------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Hand queued jobs to the fleet, up to the in-flight cap."""
+        while self.queue and len(self.inflight) < self.workers:
+            job_id = self.queue.popleft()
+            job = self.jobs.get(job_id)
+            if job is None or job.state != JOB_PENDING:
+                continue
+            try:
+                cell = JobSpec.from_dict(job.spec).cell()
+            except ProtocolError as exc:
+                # A journal from an older vocabulary can replay a spec
+                # this daemon no longer accepts; fail it, don't crash.
+                job.error = f"unrunnable spec: {exc}"
+                self._transition(job, JOB_FAILED, "spec rejected on requeue")
+                continue
+            self._transition(job, JOB_RUNNING)
+            self.inflight.add(job_id)
+            self.fleet.submit(job_id, cell)
+
+    def _fleet_done(self, job_id, result, error, attempts, elapsed) -> None:
+        """Fleet-thread callback; bridge onto the asyncio loop."""
+        if self._loop is None or self._loop.is_closed():
+            return
+        self._loop.call_soon_threadsafe(self._job_done, job_id, result,
+                                        error, attempts, elapsed)
+
+    def _job_done(self, job_id, result, error, attempts, elapsed) -> None:
+        job = self.jobs.get(job_id)
+        self.inflight.discard(job_id)
+        if job is not None and job.state == JOB_RUNNING:
+            job.attempts += max(1, attempts)
+            if error is not None:
+                job.error = error
+                self._transition(job, JOB_FAILED,
+                                 f"after {attempts} attempt(s)")
+            else:
+                kind = "traces" if job.spec.get("trace") is not None \
+                    else "results"
+                job.ref = f"{kind}/{job_id}"
+                job.payload_bytes = self.cache.entry_size(kind, job_id)
+                self._transition(job, JOB_DONE, f"{elapsed:.3f}s")
+                self._maybe_gc()
+        self._pump()
+
+    def _maybe_gc(self) -> None:
+        """Opportunistic GC after completions (budget configured, one
+        pass at a time, off the event loop)."""
+        if self.gc_budget is None or self._gc_running:
+            return
+        self._gc_running = True
+
+        async def _run():
+            try:
+                report = await asyncio.to_thread(
+                    self.cache.gc, self.gc_budget,
+                    protect=self._protected_refs())
+                if report["removed"]:
+                    self.journal.record_server("gc", **report)
+            finally:
+                self._gc_running = False
+
+        asyncio.ensure_future(_run())
+
+    # -- request handling --------------------------------------------------
+
+    def handle(self, req: dict) -> dict:
+        """One request → one response (pure dispatch, event-loop thread)."""
+        op = req.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid(),
+                        "started": round(self.started, 3),
+                        "uptime": round(time.time() - self.started, 3)}
+            if op == "submit":
+                return self._op_submit(req)
+            if op == "status":
+                return self._op_status(req)
+            if op == "result":
+                return self._op_result(req)
+            if op == "retry":
+                return self._op_retry(req)
+            if op == "stats":
+                return self._op_stats()
+            if op == "events":
+                return self._op_events(req)
+            if op == "gc":
+                return self._op_gc(req)
+            if op in ("drain", "stop"):
+                # handled asynchronously by the connection loop
+                return {"ok": True, "op": op}
+            return {"ok": False, "code": 400,
+                    "error": f"unknown op {op!r}"}
+        except ProtocolError as exc:
+            return {"ok": False, "code": 400, "error": str(exc)}
+
+    def _op_submit(self, req: dict) -> dict:
+        spec = JobSpec.from_dict(req.get("spec"))
+        cell = spec.cell()                       # validates, may raise 400
+        job_id = cell_key(self.runner, cell)
+        existing = self.jobs.get(job_id)
+        if existing is not None and existing.state != JOB_FAILED:
+            self._event(existing, "dedup: already submitted")
+            out = existing.public()
+            out.update(ok=True, deduped=True)
+            return out
+        if self.draining:
+            return {"ok": False, "code": 503,
+                    "error": "draining: not accepting new jobs"}
+        if existing is None and self._live_jobs() >= self.max_jobs:
+            return {"ok": False, "code": 429,
+                    "error": f"admission queue full "
+                             f"({self.max_jobs} live jobs)"}
+        if existing is not None:                  # FAILED → explicit retry
+            existing.error = None
+            self._transition(existing, JOB_PENDING, "resubmitted")
+            job = existing
+        else:
+            job = JobRecord(job_id, spec.to_dict())
+            self.jobs[job_id] = job
+            self._transition(job, JOB_PENDING, "submitted", spec=True)
+        # Read-through: an answer already in the shared cache completes
+        # the job without touching the fleet.
+        if self.cache.entry_size(spec.kind, job_id) is not None:
+            job.ref = f"{spec.kind}/{job_id}"
+            job.payload_bytes = self.cache.entry_size(spec.kind, job_id)
+            self._transition(job, JOB_DONE, "cache read-through")
+        else:
+            self.queue.append(job_id)
+            self._pump()
+        out = job.public()
+        out.update(ok=True, deduped=False)
+        return out
+
+    def _op_status(self, req: dict) -> dict:
+        job_id = req.get("id")
+        if job_id is None:
+            states: dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {"ok": True, "jobs": len(self.jobs), "states": states,
+                    "queue": len(self.queue), "inflight": len(self.inflight),
+                    "draining": self.draining,
+                    "ids": {j.id: j.state for j in sorted(
+                        self.jobs.values(), key=lambda j: j.submitted)}}
+        job = self.jobs.get(job_id)
+        if job is None:
+            return {"ok": False, "code": 404,
+                    "error": f"unknown job {job_id!r}"}
+        out = job.public()
+        out["ok"] = True
+        return out
+
+    def _op_result(self, req: dict) -> dict:
+        job_id = req.get("id")
+        job = self.jobs.get(job_id)
+        if job is None:
+            return {"ok": False, "code": 404,
+                    "error": f"unknown job {job_id!r}"}
+        if job.state == JOB_FAILED:
+            return {"ok": False, "code": 500, "id": job_id,
+                    "state": job.state, "error": job.error or "failed"}
+        if job.state != JOB_DONE:
+            return {"ok": False, "code": 409, "id": job_id,
+                    "state": job.state,
+                    "error": f"not ready (state {job.state})"}
+        kind = "traces" if job.spec.get("trace") is not None else "results"
+        value = self.cache.get_by_key(kind, job_id)
+        if value is None:
+            # The cache lost the entry under us (external rm, over-eager
+            # GC): requeue rather than lie.
+            self._transition(job, JOB_PENDING, "cache entry lost; requeued")
+            self.queue.append(job_id)
+            self._pump()
+            return {"ok": False, "code": 409, "id": job_id,
+                    "state": job.state,
+                    "error": "result lost from cache; job requeued"}
+        out = {"ok": True, "id": job_id, "state": job.state, "kind": kind,
+               "ref": job.ref, "payload_bytes": job.payload_bytes}
+        if kind == "results":
+            if isinstance(value, list):     # a sweep cell's result list
+                out["summary"] = [r.summary() for r in value]
+            else:
+                out["summary"] = value.summary()
+        else:
+            out["summary"] = value.result.summary()
+            out["trace"] = {"events": len(value.events),
+                            "emitted": value.emitted,
+                            "dropped": value.dropped}
+        return out
+
+    def _op_retry(self, req: dict) -> dict:
+        job_id = req.get("id")
+        job = self.jobs.get(job_id)
+        if job is None:
+            return {"ok": False, "code": 404,
+                    "error": f"unknown job {job_id!r}"}
+        if job.state != JOB_FAILED:
+            return {"ok": False, "code": 409, "id": job_id,
+                    "error": f"only FAILED jobs can be retried "
+                             f"(state {job.state})"}
+        job.error = None
+        self._transition(job, JOB_PENDING, "client retry")
+        self.queue.append(job_id)
+        self._pump()
+        out = job.public()
+        out["ok"] = True
+        return out
+
+    def _op_stats(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {"ok": True, "jobs": states,
+                "queue": len(self.queue), "inflight": len(self.inflight),
+                "fleet": self.fleet.stats.snapshot(),
+                "cache": self.cache.size_stats(),
+                "counters": self.cache.stats(),
+                "gc_budget": self.gc_budget,
+                "draining": self.draining}
+
+    def _op_events(self, req: dict) -> dict:
+        after = req.get("after", 0)
+        if not isinstance(after, int):
+            raise ProtocolError(f"bad events cursor {after!r}")
+        evs = [e for e in self.events if e.seq > after]
+        return {"ok": True, "events": [json.loads(e.to_json()) for e in evs],
+                "seq": self._seq}
+
+    def _op_gc(self, req: dict) -> dict:
+        budget = req.get("budget", self.gc_budget)
+        if budget is None:
+            raise ProtocolError("no GC budget configured or given")
+        if not isinstance(budget, int) or budget < 0:
+            raise ProtocolError(f"bad GC budget {budget!r}")
+        report = self.cache.gc(budget, protect=self._protected_refs())
+        self.journal.record_server("gc", **report)
+        return {"ok": True, **report}
+
+    # -- connection + lifecycle --------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break               # over-long or dropped
+                if not line:
+                    break
+                try:
+                    req = protocol.decode(line)
+                except ProtocolError as exc:
+                    resp = {"ok": False, "code": 400, "error": str(exc)}
+                    writer.write(protocol.encode(resp))
+                    await writer.drain()
+                    continue
+                op = req.get("op")
+                if op == "drain":
+                    await self._drain(writer)
+                    continue
+                if op == "stop":
+                    writer.write(protocol.encode({"ok": True, "op": "stop"}))
+                    await writer.drain()
+                    self._stop.set()
+                    continue
+                writer.write(protocol.encode(self.handle(req)))
+                await writer.drain()
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _drain(self, writer: asyncio.StreamWriter) -> None:
+        """Stop admitting, wait out every live job, answer, then stop."""
+        self.draining = True
+        while self._live_jobs() > 0:
+            self._pump()
+            await asyncio.sleep(0.05)
+        done = sum(1 for j in self.jobs.values() if j.state == JOB_DONE)
+        failed = sum(1 for j in self.jobs.values()
+                     if j.state == JOB_FAILED)
+        writer.write(protocol.encode(
+            {"ok": True, "op": "drain", "done": done, "failed": failed}))
+        await writer.drain()
+        self._stop.set()
+
+    def _server_json(self) -> Path:
+        return self.state_dir / "server.json"
+
+    async def serve(self) -> None:
+        """Run the daemon until stopped (``stop``/``drain`` op, SIGINT,
+        SIGTERM)."""
+        self._loop = asyncio.get_running_loop()
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.journal.record_server("start", pid=os.getpid(),
+                                   address=self.address,
+                                   workers=self.workers)
+        self.adopt()
+        addr = parse_address(self.address)
+        if addr[0] == "tcp":
+            server = await asyncio.start_server(
+                self._handle_conn, addr[1], addr[2], limit=MAX_LINE)
+            host, port = server.sockets[0].getsockname()[:2]
+            bound = f"tcp:{host}:{port}"
+        else:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(addr[1])
+            server = await asyncio.start_unix_server(
+                self._handle_conn, addr[1], limit=MAX_LINE)
+            bound = addr[1]
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError,
+                                     RuntimeError):
+                self._loop.add_signal_handler(sig, self._stop.set)
+        self._server_json().write_text(json.dumps(
+            {"pid": os.getpid(), "address": bound,
+             "started": round(self.started, 3)}, sort_keys=True) + "\n")
+        self.fleet.start()
+        try:
+            async with server:
+                self._pump()
+                await self._stop.wait()
+                await asyncio.sleep(0.02)   # let final responses flush
+        finally:
+            self.fleet.stop()
+            self.journal.record_server("shutdown", pid=os.getpid())
+            with contextlib.suppress(OSError):
+                self._server_json().unlink()
+            if addr[0] == "unix":
+                with contextlib.suppress(OSError):
+                    os.unlink(addr[1])
+
+
+def read_server_json(state_dir: str | Path) -> dict | None:
+    """The running daemon's coordinates, or ``None`` when absent/stale
+    (stale = the recorded pid no longer exists)."""
+    path = Path(state_dir) / "server.json"
+    try:
+        info = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    pid = info.get("pid")
+    if isinstance(pid, int):
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return None
+        except OSError:
+            pass
+    return info
+
+
+def pick_free_port() -> int:
+    """An OS-assigned free TCP port (tests bind the daemon to it)."""
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]

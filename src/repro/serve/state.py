@@ -1,0 +1,193 @@
+"""Durable job state for the serve daemon: state machine + journal.
+
+Every job the daemon accepts is treated as restartable speculative work
+(the Prophet stance from the paper's lineage: any thread may be squashed
+at any time and re-executed to the same architectural result).  The
+*only* durable record of a job is the append-only JSONL server journal:
+each state transition is appended (one line, flushed) before the daemon
+acts on it, so after a crash — of a worker, of the daemon itself, even
+mid-append — replaying the journal reconstructs exactly what was
+promised to clients, and re-adoption converges every non-terminal job
+back to ``PENDING`` for re-execution.  Results themselves live in the
+content-addressed :class:`~repro.harness.diskcache.DiskCache` under the
+job id, so ``DONE`` is only trusted when the cache still holds the
+entry.
+
+State machine::
+
+    (new) ──▶ PENDING ──▶ RUNNING ──▶ DONE
+                 │  ▲         │        │
+                 │  └─────────┘        │   (requeue: worker lost /
+                 │  ▲                  │    daemon restarted)
+                 ▼  │                  │
+               FAILED ◀────────────────┘-- (cache entry lost:
+                 │  (retry budget      ▼    DONE ──▶ PENDING)
+                 └───▶ PENDING          re-verified on restart
+                  (explicit client retry)
+
+``PENDING → DONE`` is also legal: the read-through path, when a
+submission's result already sits in the shared cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..harness import faults
+from ..harness.journal import read_jsonl
+from ..observe.events import (JOB_DONE, JOB_FAILED, JOB_PENDING, JOB_RUNNING,
+                              JOB_STATES)
+
+#: Legal state transitions (see the module docstring's diagram).
+TRANSITIONS: dict[str, tuple[str, ...]] = {
+    JOB_PENDING: (JOB_RUNNING, JOB_DONE, JOB_FAILED),
+    JOB_RUNNING: (JOB_DONE, JOB_FAILED, JOB_PENDING),
+    JOB_DONE: (JOB_PENDING,),
+    JOB_FAILED: (JOB_PENDING,),
+}
+
+
+class InvalidTransitionError(RuntimeError):
+    """A job was asked to move along an edge the state machine lacks."""
+
+
+def check_transition(old: str, new: str) -> None:
+    if new not in TRANSITIONS.get(old, ()):
+        raise InvalidTransitionError(f"illegal job transition "
+                                     f"{old} -> {new}")
+
+
+@dataclass
+class JobRecord:
+    """One job's current truth, reconstructed from / mirrored to the
+    journal.  ``id`` is the content-hash cache key of the job's result;
+    ``ref`` its ``kind/key`` cache address once the result exists."""
+
+    id: str
+    spec: dict
+    state: str = JOB_PENDING
+    attempts: int = 0
+    error: str | None = None
+    ref: str | None = None
+    payload_bytes: int | None = None
+    detail: str = ""
+    submitted: float = field(default_factory=time.time)
+    updated: float = field(default_factory=time.time)
+
+    def public(self) -> dict:
+        """The wire view of this job (status/result responses)."""
+        out = {"id": self.id, "state": self.state, "spec": self.spec,
+               "attempts": self.attempts,
+               "submitted": round(self.submitted, 3),
+               "updated": round(self.updated, 3)}
+        if self.error is not None:
+            out["error"] = self.error
+        if self.ref is not None:
+            out["ref"] = self.ref
+        if self.payload_bytes is not None:
+            out["payload_bytes"] = self.payload_bytes
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+class ServerJournal:
+    """The daemon's append-only JSONL event log.
+
+    Record shapes: ``{"event": "job", "id", "state", ...}`` for job
+    transitions (``spec`` rides on the first ``PENDING``), and
+    ``{"event": "server", "kind": start|shutdown|adopt|gc, ...}`` for
+    daemon lifecycle marks.  Torn final lines (crash mid-append) are
+    skipped with a warning on read — see
+    :func:`repro.harness.journal.read_jsonl`.
+
+    Fault hooks (``$REPRO_FAULTS``): ``torn-journal`` truncates an
+    append and hard-exits, ``daemon-crash`` hard-exits right *after* an
+    append — both leave a journal that replay must recover from.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def _append(self, record: dict, *, transition: str | None = None,
+                job_id: str = "") -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = (json.dumps(record, sort_keys=True, default=str) + "\n") \
+            .encode("utf-8")
+        if transition is not None:
+            cut = faults.torn_journal_cut(transition, len(data))
+            if cut is not None:
+                with self.path.open("ab") as fh:
+                    fh.write(data[:cut])
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os._exit(23)
+        with self.path.open("ab") as fh:
+            fh.write(data)
+            fh.flush()
+        if transition is not None:
+            faults.maybe_daemon_crash(transition, job_id)
+
+    def record_job(self, job: JobRecord, *, spec: bool = False) -> None:
+        """Append one job transition (call *after* mutating the record).
+        ``spec`` inlines the job spec — exactly once, on first submit,
+        so replay can rebuild the job from the journal alone."""
+        rec = {"event": "job", "id": job.id, "state": job.state,
+               "ts": round(time.time(), 3), "attempts": job.attempts}
+        if spec:
+            rec["spec"] = job.spec
+        if job.error is not None:
+            rec["error"] = job.error[:500]
+        if job.ref is not None:
+            rec["ref"] = job.ref
+        if job.payload_bytes is not None:
+            rec["payload_bytes"] = job.payload_bytes
+        if job.detail:
+            rec["detail"] = job.detail
+        self._append(rec, transition=job.state, job_id=job.id)
+
+    def record_server(self, kind: str, **info) -> None:
+        self._append({"event": "server", "kind": kind,
+                      "ts": round(time.time(), 3), **info})
+
+    def entries(self) -> list[dict]:
+        return read_jsonl(self.path, label=f"serve journal {self.path.name}")
+
+    def replay(self) -> dict[str, JobRecord]:
+        """Fold the journal into the latest known state of every job,
+        in first-submission order.
+
+        Replay is deliberately lenient where writing is strict: the
+        journal is the ground truth even if a crash produced an odd
+        suffix, so unknown states and spec-less first records are
+        skipped rather than fatal, and transitions are applied as
+        written without re-validation.
+        """
+        jobs: dict[str, JobRecord] = {}
+        for rec in self.entries():
+            if rec.get("event") != "job":
+                continue
+            job_id, state = rec.get("id"), rec.get("state")
+            if not job_id or state not in JOB_STATES:
+                continue
+            job = jobs.get(job_id)
+            if job is None:
+                spec = rec.get("spec")
+                if not isinstance(spec, dict):
+                    # First sighting without a spec: the submit record
+                    # was torn away; nothing to rebuild the job from.
+                    continue
+                job = jobs[job_id] = JobRecord(
+                    job_id, spec, submitted=rec.get("ts", 0.0))
+            job.state = state
+            job.attempts = rec.get("attempts", job.attempts)
+            job.error = rec.get("error")
+            job.ref = rec.get("ref", job.ref)
+            job.payload_bytes = rec.get("payload_bytes", job.payload_bytes)
+            job.detail = rec.get("detail", "")
+            job.updated = rec.get("ts", job.updated)
+        return jobs

@@ -101,6 +101,116 @@ class TestCorruption:
         assert not path.exists()
 
 
+class TestEvictionRaces:
+    """An entry vanishing mid-read (a concurrent GC eviction) is a plain
+    miss everywhere — never an error, never an exception."""
+
+    class _VanishingPath:
+        """Looks present at the existence check, gone at the open — the
+        eviction race distilled to its two observable moments."""
+
+        def is_file(self):
+            return True
+
+        def open(self, *a, **k):
+            raise FileNotFoundError("evicted between is_file and open")
+
+    def test_get_by_key_mid_eviction_is_plain_miss(self, cache):
+        # Drive the shared read path of get/get_by_key directly with the
+        # racing path: a miss is counted, no error, nothing raises.
+        assert cache._load("results", self._VanishingPath()) is None
+        c = cache.counters["results"]
+        assert c.misses == 1 and c.errors == 0
+
+    def test_get_by_key_absent_is_miss(self, cache):
+        assert cache.get_by_key("results", "0" * 64) is None
+        assert cache.counters["results"].misses == 1
+
+    def test_entry_size_absent_reports_none(self, cache):
+        assert cache.entry_size("results", "0" * 64) is None
+
+    def test_entry_size_present_reports_bytes(self, cache):
+        payload = {"x": 1}
+        cache.put("results", payload, list(range(100)))
+        key = cache.key_for("results", payload)
+        size = cache.entry_size("results", key)
+        assert size == cache.path_for("results", key).stat().st_size
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize("text,expect", [
+        ("500", 500), ("500B", 500), ("64K", 64 << 10), ("64k", 64 << 10),
+        ("1.5M", int(1.5 * (1 << 20))), ("2G", 2 << 30), ("2gb", 2 << 30),
+        ("  10 ", 10), ("0", 0),
+    ])
+    def test_accepts_human_budgets(self, text, expect):
+        assert diskcache_mod.parse_bytes(text) == expect
+
+    @pytest.mark.parametrize("text", ["", "huge", "-1", "12Q", "K"])
+    def test_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            diskcache_mod.parse_bytes(text)
+
+
+class TestGC:
+    def _plant(self, cache, kind, payload, value, age_s):
+        import os
+        import time as time_mod
+        cache.put(kind, payload, value)
+        key = cache.key_for(kind, payload)
+        path = cache.path_for(kind, key)
+        old = time_mod.time() - age_s
+        os.utime(path, (old, old))
+        return key, path.stat().st_size
+
+    def test_evicts_oldest_first_down_to_budget(self, cache):
+        old_key, old_size = self._plant(cache, "results", {"x": 1},
+                                        "old", 300)
+        new_key, new_size = self._plant(cache, "results", {"x": 2},
+                                        "new", 10)
+        report = cache.gc(new_size)
+        assert report["removed"] == 1
+        assert cache.get_by_key("results", old_key) is None
+        assert cache.get_by_key("results", new_key) == "new"
+        assert cache.counters["results"].evictions == 1
+
+    def test_under_budget_is_a_no_op(self, cache):
+        self._plant(cache, "results", {"x": 1}, "keep", 300)
+        report = cache.gc(1 << 30)
+        assert report["removed"] == 0 and report["freed_bytes"] == 0
+        assert "evictions" not in cache.stats().get("results", {}) \
+            or cache.stats()["results"]["evictions"] == 0
+
+    def test_protect_set_pins_entries_at_zero_budget(self, cache):
+        key, _ = self._plant(cache, "results", {"x": 1}, "pinned", 300)
+        self._plant(cache, "traces", {"x": 2}, "loose", 300)
+        report = cache.gc(0, protect={f"results/{key}"})
+        assert report["protected_kept"] == 1
+        assert cache.get_by_key("results", key) == "pinned"
+        assert report["removed"] == 1   # the unprotected trace went
+
+    def test_identical_passes_make_identical_decisions(self, cache):
+        for i in range(4):
+            self._plant(cache, "results", {"x": i}, f"v{i}", 400 - i * 60)
+        budget = cache.size_stats()["total"]["bytes"] // 2
+        first = cache.gc(budget)
+        second = cache.gc(budget)
+        assert second["removed"] == 0
+        assert second["kept_entries"] == first["kept_entries"]
+        assert second["kept_bytes"] == first["kept_bytes"]
+
+    def test_report_accounting_balances(self, cache):
+        for i in range(3):
+            self._plant(cache, "results", {"x": i}, list(range(50)),
+                        100 * (i + 1))
+        before = cache.size_stats()["total"]
+        report = cache.gc(0)
+        assert report["examined"] == before["entries"]
+        assert report["removed"] == before["entries"]
+        assert report["freed_bytes"] == before["bytes"]
+        assert cache.size_stats()["total"]["entries"] == 0
+
+
 class TestTmpSweep:
     def _plant_tmp(self, root, age_s=0):
         import os

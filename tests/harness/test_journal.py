@@ -2,10 +2,12 @@
 
 import json
 
+import pytest
+
 from repro.core import BASELINE
 from repro.harness import (Cell, DiskCache, ExperimentRunner, RunJournal,
                            cells_for, list_journals, run_cells)
-from repro.harness.journal import cell_key, run_key
+from repro.harness.journal import TornJournalWarning, cell_key, run_key
 
 
 def _runner(scale=0.05, cache=None):
@@ -36,6 +38,39 @@ class TestRecords:
         with j.path.open("a") as fh:
             fh.write('{"event": "cell", "trunca')   # killed mid-append
         assert [e["event"] for e in j.entries()] == ["start"]
+
+    def test_torn_tail_warns_and_names_the_line(self, tmp_path):
+        j = RunJournal(tmp_path / "r.jsonl")
+        j.record_start(1)
+        with j.path.open("a") as fh:
+            fh.write('{"event": "cell", "trunca')
+        with pytest.warns(TornJournalWarning, match="line 2"):
+            j.entries()
+        # completed_keys reads through the same tolerant path.
+        with pytest.warns(TornJournalWarning):
+            assert j.completed_keys() == set()
+
+    def test_non_record_line_is_skipped_with_warning(self, tmp_path):
+        j = RunJournal(tmp_path / "r.jsonl")
+        j.record_start(1)
+        with j.path.open("a") as fh:
+            fh.write('[1, 2, 3]\n')      # valid JSON, not a record
+        with pytest.warns(TornJournalWarning, match="non-record"):
+            assert [e["event"] for e in j.entries()] == ["start"]
+
+    def test_intact_records_survive_a_torn_middle_read(self, tmp_path):
+        # Only the torn line is lost; records on either side are kept.
+        j = RunJournal(tmp_path / "r.jsonl")
+        j.record_start(2)
+        with j.path.open("a") as fh:
+            fh.write('{"event": "cell", "ind\n')
+        j.record_cell(index=1, key="k1", workload="w", config="c",
+                      status="ok", attempts=1)
+        with pytest.warns(TornJournalWarning):
+            events = j.entries()
+        assert [e["event"] for e in events] == ["start", "cell"]
+        with pytest.warns(TornJournalWarning):
+            assert j.completed_keys() == {"k1"}
 
     def test_completed_keys_only_counts_ok(self, tmp_path):
         j = RunJournal(tmp_path / "r.jsonl")

@@ -1,0 +1,109 @@
+"""Wire protocol: encoding, job specs, identity, addresses."""
+
+import pytest
+
+from repro.core.configs import PAPER_CONFIGS
+from repro.harness import DiskCache, ExperimentRunner
+from repro.harness.journal import cell_key
+from repro.harness.runner import TraceSpec
+from repro.serve import JobSpec, ProtocolError, parse_address, resolve_config
+from repro.serve.protocol import decode, encode
+
+
+class TestWire:
+    def test_encode_decode_round_trip(self):
+        obj = {"op": "submit", "spec": {"workload": "pointer"}}
+        assert decode(encode(obj)) == obj
+
+    def test_encode_preserves_key_order(self):
+        # Result summaries ride the wire; their insertion order is part
+        # of the CLI's byte-exact output contract.
+        line = encode({"zebra": 1, "alpha": 2})
+        assert line.index(b"zebra") < line.index(b"alpha")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2, 3]\n")
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec("pointer", "SPEAR-128", memory=250,
+                       backend="fast-forward",
+                       trace=TraceSpec(interval=500, capacity=None))
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.kind == "traces"
+
+    def test_plain_spec_kind_is_results(self):
+        assert JobSpec("pointer").kind == "results"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ProtocolError, match="workload"):
+            JobSpec("no-such-workload").validate()
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ProtocolError, match="config"):
+            JobSpec("pointer", config="SPEAR-9000").validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ProtocolError, match="backend"):
+            JobSpec("pointer", backend="quantum").validate()
+
+    def test_memory_below_l2_rejected(self):
+        spec = JobSpec("pointer", memory=1)
+        with pytest.raises(ProtocolError, match="L2"):
+            spec.cell()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown job spec field"):
+            JobSpec.from_dict({"workload": "pointer", "wat": 1})
+
+    def test_cell_applies_memory_override(self):
+        cell = JobSpec("pointer", memory=250).cell()
+        assert cell.latencies.memory == 250
+
+    def test_config_aliases_resolve(self):
+        assert resolve_config("spear").name == "SPEAR-128"
+        assert resolve_config("base").name == "baseline"
+        assert resolve_config("SPEAR-128") is PAPER_CONFIGS["SPEAR-128"]
+        assert resolve_config("nonsense") is None
+
+
+class TestJobIdentity:
+    def test_job_id_is_cache_key_of_result(self, tmp_path):
+        # The content-hash identity: a finished job's id addresses its
+        # result in the cache directly — dedup, read-through and
+        # restart-stable ids all fall out of this one property.
+        runner = ExperimentRunner(instruction_scale=0.05,
+                                  cache=DiskCache(tmp_path / "c"))
+        spec = JobSpec("pointer", "baseline")
+        cell = spec.cell()
+        job_id = cell_key(runner, cell)
+        runner.run(cell.workload, cell.config)
+        assert runner.cache.get_by_key("results", job_id) is not None
+
+    def test_same_spec_same_id_distinct_specs_differ(self, tmp_path):
+        runner = ExperimentRunner(instruction_scale=0.05,
+                                  cache=DiskCache(tmp_path / "c"))
+        a = cell_key(runner, JobSpec("pointer", "baseline").cell())
+        b = cell_key(runner, JobSpec("pointer", "baseline").cell())
+        c = cell_key(runner, JobSpec("pointer", "SPEAR-128").cell())
+        assert a == b and a != c
+
+
+class TestAddresses:
+    def test_unix_path_passthrough(self):
+        assert parse_address("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+
+    def test_tcp_parses(self):
+        assert parse_address("tcp:127.0.0.1:8123") == \
+            ("tcp", "127.0.0.1", 8123)
+
+    def test_bad_tcp_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_address("tcp:nohost")
+        with pytest.raises(ProtocolError):
+            parse_address("tcp:host:notaport")

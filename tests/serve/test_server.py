@@ -1,0 +1,218 @@
+"""The serve daemon in-process: protocol ops, dedup, read-through,
+backpressure, drain, GC protection.
+
+Each test runs a real :class:`ServeServer` (real fleet, real cache,
+real simulations at scale 0.05) on a background thread, talked to by
+the real synchronous client over a unix socket.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.harness import DiskCache, ExecutionPolicy, ExperimentRunner
+from repro.serve import ServeClient, ServeError, ServeServer
+
+FAST = ExecutionPolicy(backoff=0)
+
+
+class Daemon:
+    """One in-process daemon on a background thread."""
+
+    def __init__(self, tmp_path, name="serve", **kwargs):
+        cache = DiskCache(tmp_path / "cache")
+        self.runner = ExperimentRunner(instruction_scale=0.05, cache=cache)
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("policy", FAST)
+        self.server = ServeServer(self.runner, tmp_path / name,
+                                  address=str(tmp_path / f"{name}.sock"),
+                                  **kwargs)
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.serve()), daemon=True)
+
+    def start(self) -> ServeClient:
+        self.thread.start()
+        client = ServeClient(self.server.address)
+        client.wait_ready(timeout=15.0)
+        return client
+
+    def stop(self):
+        if self.thread.is_alive():
+            try:
+                ServeClient(self.server.address).stop()
+            except OSError:
+                pass
+            self.thread.join(timeout=30.0)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = Daemon(tmp_path)
+    yield d
+    d.stop()
+
+
+POINTER = {"workload": "pointer", "config": "baseline"}
+
+
+class TestOps:
+    def test_ping(self, daemon):
+        client = daemon.start()
+        resp = client.ping()
+        assert resp["ok"] and resp["pid"] > 0
+
+    def test_submit_run_result(self, daemon):
+        client = daemon.start()
+        sub = client.submit(POINTER)
+        assert sub["state"] in ("PENDING", "RUNNING")
+        result = client.wait_result(sub["id"], timeout=90.0)
+        assert result["state"] == "DONE"
+        assert result["kind"] == "results"
+        assert result["summary"]["workload"] == "pointer"
+        assert result["summary"]["cycles"] > 0
+        status = client.status(sub["id"])
+        assert status["state"] == "DONE"
+        assert status["ref"] == f"results/{sub['id']}"
+
+    def test_unknown_job_is_404(self, daemon):
+        client = daemon.start()
+        with pytest.raises(ServeError) as exc:
+            client.status("deadbeef")
+        assert exc.value.code == 404
+
+    def test_result_before_done_is_409(self, daemon):
+        client = daemon.start()
+        sub = client.submit(POINTER)
+        if sub["state"] != "DONE":
+            try:
+                client.result(sub["id"])
+            except ServeError as exc:
+                assert exc.code == 409
+        client.wait_result(sub["id"], timeout=90.0)
+
+    def test_malformed_spec_is_400(self, daemon):
+        client = daemon.start()
+        with pytest.raises(ServeError) as exc:
+            client.submit({"workload": "no-such-workload"})
+        assert exc.value.code == 400
+
+    def test_stats_exposes_fleet_and_cache(self, daemon):
+        client = daemon.start()
+        sub = client.submit(POINTER)
+        client.wait_result(sub["id"], timeout=90.0)
+        stats = client.stats()
+        assert stats["jobs"].get("DONE") == 1
+        assert stats["fleet"]["ok"] == 1
+        assert stats["cache"]["total"]["entries"] >= 1
+
+    def test_events_cursor(self, daemon):
+        client = daemon.start()
+        sub = client.submit(POINTER)
+        client.wait_result(sub["id"], timeout=90.0)
+        evs = client.events()
+        states = [e["state"] for e in evs["events"]]
+        assert states[0] == "PENDING" and states[-1] == "DONE"
+        later = client.events(after=evs["seq"])
+        assert later["events"] == []
+
+
+class TestDedupAndReadThrough:
+    def test_duplicate_submission_dedups(self, daemon):
+        client = daemon.start()
+        first = client.submit(POINTER)
+        second = client.submit(POINTER)
+        assert second["id"] == first["id"]
+        assert second["deduped"] is True
+        client.wait_result(first["id"], timeout=90.0)
+        # One simulation ran for the two submissions.
+        assert client.stats()["fleet"]["ok"] == 1
+
+    def test_cached_result_completes_without_simulating(self, daemon,
+                                                        tmp_path):
+        client = daemon.start()
+        sub = client.submit(POINTER)
+        client.wait_result(sub["id"], timeout=90.0)
+        ran_before = client.stats()["fleet"]["ok"]
+        daemon.stop()
+
+        # A fresh daemon (own journal) over the same cache answers the
+        # same submission instantly from it.
+        d2 = Daemon(tmp_path, name="serve2")
+        client2 = d2.start()
+        try:
+            again = client2.submit(POINTER)
+            assert again["id"] == sub["id"]
+            assert again["state"] == "DONE"
+            assert again["detail"] == "cache read-through"
+            assert client2.stats()["fleet"]["ok"] == 0
+            assert ran_before == 1
+        finally:
+            d2.stop()
+
+
+class TestBackpressure:
+    def test_admission_cap_rejects_429(self, tmp_path):
+        d = Daemon(tmp_path, max_jobs=1, workers=1)
+        client = d.start()
+        try:
+            first = client.submit(POINTER)
+            with pytest.raises(ServeError) as exc:
+                client.submit({"workload": "pointer",
+                               "config": "SPEAR-128"})
+            assert exc.value.code == 429
+            # The duplicate of a live job still dedups (no new slot).
+            again = client.submit(POINTER)
+            assert again["deduped"] is True
+            client.wait_result(first["id"], timeout=90.0)
+            # A finished job frees its slot.
+            nxt = client.submit({"workload": "pointer",
+                                 "config": "SPEAR-128"})
+            client.wait_result(nxt["id"], timeout=90.0)
+        finally:
+            d.stop()
+
+    def test_draining_rejects_503(self, tmp_path):
+        d = Daemon(tmp_path)
+        client = d.start()
+        try:
+            sub = client.submit(POINTER)
+            client.wait_result(sub["id"], timeout=90.0)
+            drainer = ServeClient(d.server.address)
+            t = threading.Thread(target=drainer.drain, daemon=True)
+            t.start()
+            deadline = time.monotonic() + 10
+            while not d.server.draining and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises((ServeError, OSError)) as exc:
+                client.submit({"workload": "pointer",
+                               "config": "SPEAR-128"})
+            if isinstance(exc.value, ServeError):
+                assert exc.value.code == 503
+            t.join(timeout=30.0)
+        finally:
+            d.stop()
+
+
+class TestGC:
+    def test_gc_op_respects_protect_set(self, daemon):
+        client = daemon.start()
+        sub = client.submit(POINTER)
+        client.wait_result(sub["id"], timeout=90.0)
+        # Budget 0 would evict everything not protected; the DONE job's
+        # result must survive.
+        report = client.gc(budget=0)
+        assert report["ok"]
+        assert report["protected_kept"] >= 1
+        assert daemon.runner.cache.get_by_key("results", sub["id"]) \
+            is not None
+        # The result is still servable after the sweep.
+        result = client.result(sub["id"])
+        assert result["summary"]["workload"] == "pointer"
+
+    def test_gc_without_budget_is_400(self, daemon):
+        client = daemon.start()
+        with pytest.raises(ServeError) as exc:
+            client.gc()
+        assert exc.value.code == 400

@@ -1,0 +1,157 @@
+"""Job state machine + server journal: transitions, replay, torn tails."""
+
+import json
+
+import pytest
+
+from repro.harness.journal import TornJournalWarning
+from repro.observe import JOB_DONE, JOB_FAILED, JOB_PENDING, JOB_RUNNING
+from repro.serve import (InvalidTransitionError, JobRecord, ServerJournal,
+                         TRANSITIONS, check_transition)
+
+
+class TestTransitions:
+    def test_forward_path_legal(self):
+        check_transition(JOB_PENDING, JOB_RUNNING)
+        check_transition(JOB_RUNNING, JOB_DONE)
+        check_transition(JOB_RUNNING, JOB_FAILED)
+
+    def test_requeue_edges_legal(self):
+        # Crash recovery (RUNNING back to PENDING), cache loss (DONE back
+        # to PENDING) and client retry (FAILED back to PENDING).
+        check_transition(JOB_RUNNING, JOB_PENDING)
+        check_transition(JOB_DONE, JOB_PENDING)
+        check_transition(JOB_FAILED, JOB_PENDING)
+
+    def test_read_through_edge_legal(self):
+        check_transition(JOB_PENDING, JOB_DONE)
+
+    def test_illegal_edges_raise(self):
+        with pytest.raises(InvalidTransitionError):
+            check_transition(JOB_DONE, JOB_RUNNING)
+        with pytest.raises(InvalidTransitionError):
+            check_transition(JOB_FAILED, JOB_DONE)
+
+    def test_every_state_has_an_exit(self):
+        # No trap states: even terminal states can be requeued.
+        for state, nexts in TRANSITIONS.items():
+            assert nexts, f"{state} is a trap state"
+
+
+def _submit(journal, job_id="j1", spec=None):
+    job = JobRecord(job_id, spec or {"workload": "pointer"})
+    journal.record_job(job, spec=True)
+    return job
+
+
+class TestJournalReplay:
+    def test_replay_reconstructs_latest_state(self, tmp_path):
+        j = ServerJournal(tmp_path / "serve.jsonl")
+        job = _submit(j)
+        job.state = JOB_RUNNING
+        j.record_job(job)
+        job.state = JOB_DONE
+        job.ref = "results/j1"
+        job.payload_bytes = 123
+        j.record_job(job)
+        jobs = j.replay()
+        assert jobs["j1"].state == JOB_DONE
+        assert jobs["j1"].ref == "results/j1"
+        assert jobs["j1"].payload_bytes == 123
+        assert jobs["j1"].spec == {"workload": "pointer"}
+
+    def test_replay_preserves_submission_order(self, tmp_path):
+        j = ServerJournal(tmp_path / "serve.jsonl")
+        for name in ("a", "b", "c"):
+            _submit(j, job_id=name)
+        assert list(j.replay()) == ["a", "b", "c"]
+
+    def test_replay_skips_server_records(self, tmp_path):
+        j = ServerJournal(tmp_path / "serve.jsonl")
+        j.record_server("start", pid=1)
+        _submit(j)
+        j.record_server("shutdown", pid=1)
+        assert list(j.replay()) == ["j1"]
+
+    def test_torn_final_line_is_skipped_with_warning(self, tmp_path):
+        j = ServerJournal(tmp_path / "serve.jsonl")
+        job = _submit(j)
+        job.state = JOB_RUNNING
+        j.record_job(job)
+        with j.path.open("a") as fh:
+            fh.write('{"event": "job", "id": "j1", "state": "DO')
+        with pytest.warns(TornJournalWarning):
+            jobs = j.replay()
+        # The torn DONE never happened: the job replays as RUNNING and
+        # the daemon's adoption pass requeues it.
+        assert jobs["j1"].state == JOB_RUNNING
+
+    def test_torn_first_record_drops_the_job(self, tmp_path):
+        # A submit record torn mid-append leaves nothing to rebuild the
+        # job from; replay must not invent a spec-less job.
+        j = ServerJournal(tmp_path / "serve.jsonl")
+        j.path.parent.mkdir(parents=True, exist_ok=True)
+        j.path.write_text(json.dumps(
+            {"event": "job", "id": "jx", "state": "RUNNING", "ts": 1.0}) +
+            "\n")
+        assert j.replay() == {}
+
+    def test_error_and_attempts_survive_replay(self, tmp_path):
+        j = ServerJournal(tmp_path / "serve.jsonl")
+        job = _submit(j)
+        job.state = JOB_FAILED
+        job.error = "InjectedFault: boom"
+        job.attempts = 3
+        j.record_job(job)
+        jobs = j.replay()
+        assert jobs["j1"].state == JOB_FAILED
+        assert jobs["j1"].error == "InjectedFault: boom"
+        assert jobs["j1"].attempts == 3
+
+    def test_public_view_hides_internals(self):
+        job = JobRecord("j1", {"workload": "pointer"})
+        out = job.public()
+        assert out["id"] == "j1" and out["state"] == JOB_PENDING
+        assert "error" not in out and "ref" not in out
+
+
+class TestJournalFaults:
+    def test_torn_journal_fault_truncates_and_exits(self, tmp_path,
+                                                    monkeypatch):
+        # The injected torn write happens in a forked child so the test
+        # process survives the hard exit.
+        import os
+        monkeypatch.setenv("REPRO_FAULTS", "torn-journal")
+        path = tmp_path / "serve.jsonl"
+        pid = os.fork()
+        if pid == 0:  # child
+            j = ServerJournal(path)
+            _submit(j)
+            os._exit(99)  # unreachable: the fault exits with 23
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 23
+        text = path.read_text()
+        assert not text.endswith("\n")       # genuinely torn
+        monkeypatch.delenv("REPRO_FAULTS")
+        with pytest.warns(TornJournalWarning):
+            assert ServerJournal(path).replay() == {}
+
+    def test_daemon_crash_fault_exits_after_append(self, tmp_path,
+                                                   monkeypatch):
+        import os
+        monkeypatch.setenv("REPRO_FAULTS", "daemon-crash:at=RUNNING")
+        path = tmp_path / "serve.jsonl"
+        pid = os.fork()
+        if pid == 0:
+            j = ServerJournal(path)
+            job = _submit(j)          # PENDING append survives (at=RUNNING)
+            job.state = JOB_RUNNING
+            j.record_job(job)         # crashes here, after the append
+            os._exit(99)
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 17
+        monkeypatch.delenv("REPRO_FAULTS")
+        jobs = ServerJournal(path).replay()
+        # The append beat the crash: RUNNING is journaled, so a restarted
+        # daemon re-adopts (and requeues) the job.
+        assert jobs["j1"].state == JOB_RUNNING
