@@ -1,0 +1,29 @@
+"""Differential fuzzing campaign — corpus-wide SPEAR behaviour.
+
+Runs the standard seed-0 campaign through the parallel engine and
+persists its (byte-deterministic) triage for EXPERIMENTS.md.  The
+campaign size is modest here so the benchmark pass stays tractable;
+``repro fuzz run --seed 0 --count 1000`` reproduces the full corpus
+with identical per-program verdicts (each verdict depends only on its
+own cell).
+"""
+
+import os
+
+from repro.fuzz import CampaignSpec, run_campaign
+
+from .conftest import emit, once
+
+COUNT = int(os.environ.get("FUZZ_BENCH_COUNT", "200"))
+
+
+def test_fuzz_campaign_triage(benchmark, runner, out_dir):
+    spec = CampaignSpec(seed=0, count=COUNT)
+    result = once(benchmark, lambda: run_campaign(spec, runner,
+                                                  journaled=False))
+    assert result.failed == []
+    assert result.report.counts["divergence"] == 0
+    assert result.report.total == COUNT
+    emit(out_dir, "fuzz_campaign",
+         f"$ repro fuzz run --seed 0 --count {COUNT}\n"
+         + result.report.render())

@@ -37,6 +37,14 @@ serve result ID      fetch a finished job's summary (``--wait`` polls)
 serve stats          daemon + fleet + cache statistics (JSON)
 serve drain          finish every live job, then shut the daemon down
 serve stop           stop now; in-flight jobs resume on next start
+fuzz run             run a seeded differential-fuzzing campaign (triage
+                     text on stdout is byte-deterministic at any --jobs;
+                     --strict exits 1 on any divergence)
+fuzz triage          the same campaign's triage as JSON (cached verdicts
+                     make this cheap after a run)
+fuzz shrink NAME     delta-debug one diverging kernel to a minimal spec
+                     (``--spec FILE`` re-shrinks a checked-in reproducer)
+fuzz show NAME       print a generated kernel's spec IR and sizes
 cache stats          per-kind on-disk cache accounting
 cache gc --budget N  LRU-evict entries until the cache fits the budget
 
@@ -754,6 +762,133 @@ def cmd_serve_stop(args) -> int:
     return 0
 
 
+# -- fuzz -------------------------------------------------------------------
+
+def _parse_dials(text: str | None):
+    """``k=v;k=v`` generator-dial overrides (see KernelDials fields)."""
+    from dataclasses import replace
+    from .fuzz.generator import DEFAULT_DIALS
+    if not text:
+        return DEFAULT_DIALS
+    kw = {}
+    for item in text.split(";"):
+        k, sep, v = item.partition("=")
+        if not sep or not hasattr(DEFAULT_DIALS, k):
+            raise SystemExit(f"bad --dials entry {item!r}")
+        kw[k] = type(getattr(DEFAULT_DIALS, k))(
+            float(v) if "." in v or "e" in v else v)
+    return replace(DEFAULT_DIALS, **kw)
+
+
+def _campaign(args):
+    from .fuzz import CampaignSpec, run_campaign
+    spec = CampaignSpec(seed=args.seed, count=args.count,
+                        dials=_parse_dials(args.dials),
+                        sweep_every=args.sweep_every)
+    runner = _runner(args)
+    result = run_campaign(spec, runner, jobs=_jobs(args),
+                          policy=_policy(args),
+                          journal_root=_journal_dir(args),
+                          resume=getattr(args, "resume", False))
+    return result
+
+
+def _campaign_exit(args, result) -> int:
+    print(result.run_report.render(), file=sys.stderr)
+    for name in result.failed:
+        print(f"  NO VERDICT (evaluator failed): {name}", file=sys.stderr)
+    if getattr(args, "output", None):
+        Path(args.output).write_text(result.report.to_json() + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.strict and (result.report.counts["divergence"]
+                        or result.failed
+                        or not result.run_report.completed):
+        return 1
+    return 0
+
+
+def cmd_fuzz_run(args) -> int:
+    """Run a campaign; the triage text on stdout is byte-deterministic
+    for a given seed/count/dials at any ``--jobs`` (wall-clock and cache
+    chatter go to stderr)."""
+    try:
+        result = _campaign(args)
+    except FatalCellError as exc:
+        return _fatal(exc)
+    print(result.report.render())
+    return _campaign_exit(args, result)
+
+
+def cmd_fuzz_triage(args) -> int:
+    """Re-triage a campaign as JSON (cached verdicts make this cheap)."""
+    try:
+        result = _campaign(args)
+    except FatalCellError as exc:
+        return _fatal(exc)
+    print(result.report.to_json())
+    return _campaign_exit(args, result)
+
+
+def cmd_fuzz_shrink(args) -> int:
+    from .fuzz import FuzzCheckSpec, evaluate_workload, shrink
+    from .fuzz.generator import SpecWorkload, spec_from_json, spec_to_json
+    if args.spec:
+        doc = json.loads(Path(args.spec).read_text())
+        workload = SpecWorkload(
+            spec_from_json(json.dumps(doc["spec"])), doc["name"])
+    elif args.name:
+        workload = get_workload(args.name)
+    else:
+        print("fuzz shrink needs a workload name or --spec FILE",
+              file=sys.stderr)
+        return 2
+    check = FuzzCheckSpec()
+    base = evaluate_workload(workload, check, scale=args.scale)
+    if not base.diverged:
+        print(f"{workload.name}: verdict is {base.classification!r} — "
+              f"nothing to shrink", file=sys.stderr)
+        return 1
+    # Shrinking keeps the original workload *name*: the name seeds the
+    # data rng, so renaming would change the inputs under the spec.
+    labels = {d.split(":", 1)[0] for d in base.divergences}
+    evals = 0
+
+    def still_fails(spec) -> bool:
+        nonlocal evals
+        evals += 1
+        v = evaluate_workload(SpecWorkload(spec, workload.name), check,
+                              scale=args.scale)
+        return any(d.split(":", 1)[0] in labels for d in v.divergences)
+
+    reduced = shrink(workload.spec, still_fails, max_evals=args.max_evals)
+    final = evaluate_workload(SpecWorkload(reduced, workload.name), check,
+                              scale=args.scale)
+    doc = {"name": workload.name,
+           "divergences": list(final.divergences),
+           "spec": json.loads(spec_to_json(reduced))}
+    text = json.dumps(doc, sort_keys=True, indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    print(text)
+    print(f"shrunk {workload.spec.size()} -> {reduced.size()} statement(s) "
+          f"in {evals} evaluation(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_fuzz_show(args) -> int:
+    from .fuzz.generator import spec_to_json
+    workload = get_workload(args.name)
+    program = workload.program("eval")
+    spec = workload.spec
+    print(f"{workload.name}: {spec.size()} statement(s), "
+          f"{len(spec.loops)} loop(s), {spec.mem_words} words/array, "
+          f"~{spec.dynamic_estimate()} dynamic instructions, "
+          f"{len(program.instructions)} static instructions")
+    print(spec_to_json(spec))
+    return 0
+
+
 # -- cache ------------------------------------------------------------------
 
 def cmd_cache_stats(args) -> int:
@@ -996,6 +1131,55 @@ def build_parser() -> argparse.ArgumentParser:
                                       "on next start)")
     _add_serve_addr(ps)
     ps.set_defaults(fn=cmd_serve_stop)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing campaigns")
+    fsub = p.add_subparsers(dest="action", required=True)
+
+    def _add_campaign(pf):
+        pf.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+        pf.add_argument("--count", type=int, default=1000,
+                        help="programs in the campaign (default 1000)")
+        pf.add_argument("--dials", default=None, metavar="K=V;K=V",
+                        help="generator dial overrides "
+                             "(e.g. mem_words=4096;fp_weight=0)")
+        pf.add_argument("--sweep-every", type=int, default=50,
+                        help="every Nth program also cross-checks the "
+                             "batched latency sweep (0 disables; "
+                             "default 50)")
+        pf.add_argument("--strict", action="store_true",
+                        help="exit 1 on any divergence or failed cell")
+        pf.add_argument("-o", "--output", default=None,
+                        help="also write the triage report as JSON")
+        _add_scale(pf)
+        _add_perf(pf)
+
+    pf = fsub.add_parser(
+        "run", help="run a seeded campaign (deterministic triage on stdout)")
+    _add_campaign(pf)
+    pf.set_defaults(fn=cmd_fuzz_run)
+
+    pf = fsub.add_parser(
+        "triage", help="campaign triage as JSON (cheap on a warm cache)")
+    _add_campaign(pf)
+    pf.set_defaults(fn=cmd_fuzz_triage)
+
+    pf = fsub.add_parser(
+        "shrink", help="delta-debug a diverging kernel to a minimal spec")
+    pf.add_argument("name", nargs="?", default=None,
+                    help="fuzz workload name (fuzz:v1:SEED:INDEX[:dials])")
+    pf.add_argument("--spec", default=None, metavar="FILE",
+                    help="shrink a checked-in reproducer JSON instead")
+    pf.add_argument("--max-evals", type=int, default=2000,
+                    help="predicate-evaluation budget (default 2000)")
+    pf.add_argument("-o", "--output", default=None,
+                    help="write the shrunk reproducer JSON here")
+    _add_scale(pf)
+    pf.set_defaults(fn=cmd_fuzz_shrink)
+
+    pf = fsub.add_parser("show", help="print one generated kernel's spec")
+    pf.add_argument("name")
+    pf.set_defaults(fn=cmd_fuzz_show)
 
     p = sub.add_parser("cache", help="inspect or collect the disk cache")
     csub = p.add_subparsers(dest="action", required=True)

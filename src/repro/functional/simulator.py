@@ -12,6 +12,8 @@ avoids per-step allocation and attribute lookups where practical.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..isa.opcodes import FP_BASE, Op, ZERO_REG
@@ -20,6 +22,12 @@ from .trace import Trace, TraceEntry
 
 _I64_MASK = (1 << 64) - 1
 _I64_SIGN = 1 << 63
+_I64_MAX = (1 << 63) - 1
+_I64_MIN = -(1 << 63)
+#: 2^63 as a float — the smallest magnitude at which CVTFI saturates.
+_F_2P63 = float(1 << 63)
+_NAN = float("nan")
+_INF = float("inf")
 
 
 def _wrap64(v: int) -> int:
@@ -148,7 +156,12 @@ class FunctionalSimulator:
             elif op == Op.SLLI:
                 iregs[ins.rd] = _wrap64(iregs[ins.rs1] << (ins.imm & 63))
             elif op == Op.SRLI:
-                iregs[ins.rd] = (iregs[ins.rs1] & _I64_MASK) >> (ins.imm & 63)
+                # Logical shifts must land back in canonical signed form:
+                # a zero-distance shift of a negative value would otherwise
+                # leave an unsigned >= 2^63 in the register file, corrupting
+                # every later signed comparison (and overflowing SW).
+                iregs[ins.rd] = _wrap64(
+                    (iregs[ins.rs1] & _I64_MASK) >> (ins.imm & 63))
             elif op == Op.SRAI:
                 iregs[ins.rd] = iregs[ins.rs1] >> (ins.imm & 63)
             elif op == Op.ANDI:
@@ -166,7 +179,8 @@ class FunctionalSimulator:
             elif op == Op.SLL:
                 iregs[ins.rd] = _wrap64(iregs[ins.rs1] << (iregs[ins.rs2] & 63))
             elif op == Op.SRL:
-                iregs[ins.rd] = (iregs[ins.rs1] & _I64_MASK) >> (iregs[ins.rs2] & 63)
+                iregs[ins.rd] = _wrap64(
+                    (iregs[ins.rs1] & _I64_MASK) >> (iregs[ins.rs2] & 63))
             elif op == Op.SRA:
                 iregs[ins.rd] = iregs[ins.rs1] >> (iregs[ins.rs2] & 63)
             elif op == Op.SLT:
@@ -178,21 +192,34 @@ class FunctionalSimulator:
             elif op == Op.MUL:
                 iregs[ins.rd] = _wrap64(iregs[ins.rs1] * iregs[ins.rs2])
             elif op == Op.DIV:
-                d = iregs[ins.rs2]
-                if d == 0:
-                    raise SimulationError("integer division by zero", pc)
-                iregs[ins.rd] = _wrap64(int(iregs[ins.rs1] / d))
-            elif op == Op.REM:
-                d = iregs[ins.rs2]
-                if d == 0:
-                    raise SimulationError("integer remainder by zero", pc)
+                # RISC-V M semantics: truncated division, x/0 == -1 and
+                # INT64_MIN / -1 wraps to INT64_MIN (no trap, no float
+                # round-trip — exact for full-width operands).
                 a = iregs[ins.rs1]
-                iregs[ins.rd] = _wrap64(a - int(a / d) * d)
+                d = iregs[ins.rs2]
+                if d == 0:
+                    iregs[ins.rd] = -1
+                else:
+                    q = abs(a) // abs(d)
+                    iregs[ins.rd] = _wrap64(-q if (a < 0) != (d < 0) else q)
+            elif op == Op.REM:
+                # RISC-V M semantics: sign follows the dividend, x%0 == x
+                # and INT64_MIN % -1 == 0.
+                a = iregs[ins.rs1]
+                d = iregs[ins.rs2]
+                if d == 0:
+                    iregs[ins.rd] = a
+                else:
+                    q = abs(a) // abs(d)
+                    if (a < 0) != (d < 0):
+                        q = -q
+                    iregs[ins.rd] = _wrap64(a - q * d)
             elif op == Op.LB:
                 addr = iregs[ins.rs1] + ins.imm
                 if not 0 <= addr < mem_len:
                     raise SimulationError(f"bad load address {addr:#x}", pc)
-                iregs[ins.rd] = int(mem[addr])
+                b = int(mem[addr])
+                iregs[ins.rd] = b - 256 if b >= 128 else b
             elif op == Op.SB:
                 addr = iregs[ins.rs1] + ins.imm
                 if not 0 <= addr < mem_len:
@@ -215,15 +242,22 @@ class FunctionalSimulator:
             elif op == Op.FMUL:
                 fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE] * fregs[ins.rs2 - FP_BASE]
             elif op == Op.FDIV:
+                # IEEE 754 default (non-trapping) semantics: x/±0 -> ±inf,
+                # ±0/±0 and NaN operands -> NaN.
+                a = fregs[ins.rs1 - FP_BASE]
                 d = fregs[ins.rs2 - FP_BASE]
                 if d == 0.0:
-                    raise SimulationError("float division by zero", pc)
-                fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE] / d
+                    if a == 0.0 or a != a:
+                        fregs[ins.rd - FP_BASE] = _NAN
+                    else:
+                        fregs[ins.rd - FP_BASE] = (
+                            math.copysign(_INF, a) * math.copysign(1.0, d))
+                else:
+                    fregs[ins.rd - FP_BASE] = a / d
             elif op == Op.FSQRT:
+                # IEEE 754: sqrt of a negative value is NaN, not a trap.
                 v = fregs[ins.rs1 - FP_BASE]
-                if v < 0.0:
-                    raise SimulationError("sqrt of negative value", pc)
-                fregs[ins.rd - FP_BASE] = v ** 0.5
+                fregs[ins.rd - FP_BASE] = _NAN if v < 0.0 else v ** 0.5
             elif op == Op.FNEG:
                 fregs[ins.rd - FP_BASE] = -fregs[ins.rs1 - FP_BASE]
             elif op == Op.FABS:
@@ -241,7 +275,17 @@ class FunctionalSimulator:
             elif op == Op.CVTIF:
                 fregs[ins.rd - FP_BASE] = float(iregs[ins.rs1])
             elif op == Op.CVTFI:
-                iregs[ins.rd] = _wrap64(int(fregs[ins.rs1 - FP_BASE]))
+                # RISC-V FCVT.L.D: truncate toward zero, saturate out-of-
+                # range values, NaN -> INT64_MAX (never raises).
+                v = fregs[ins.rs1 - FP_BASE]
+                if v != v:
+                    iregs[ins.rd] = _I64_MAX
+                elif v >= _F_2P63:
+                    iregs[ins.rd] = _I64_MAX
+                elif v <= -_F_2P63:
+                    iregs[ins.rd] = _I64_MIN
+                else:
+                    iregs[ins.rd] = int(v)
             elif op == Op.FMOV:
                 fregs[ins.rd - FP_BASE] = fregs[ins.rs1 - FP_BASE]
             elif op == Op.BEQ:

@@ -1,0 +1,45 @@
+"""Differential fuzzing of the SPEAR pipeline over random kernels.
+
+The campaign machinery has four layers:
+
+* :mod:`~repro.fuzz.generator` — a seeded random-kernel generator on top
+  of :class:`~repro.isa.builder.ProgramBuilder`: basic-block DAGs built
+  from counted loops and forward hammocks, with dials for pointer-chase
+  depth, gather fan-out, stream stride, memory footprint, branch entropy
+  and the int/fp/div statement mix.  Programs are sampled as a
+  serializable :class:`~repro.fuzz.generator.KernelSpec` IR and
+  materialized deterministically, so every find can be replayed, shrunk
+  and checked in.
+* :mod:`~repro.fuzz.oracle` — an independent interpreter over the spec
+  IR.  It computes the expected final architectural state without going
+  through the functional simulator, so simulator bugs that affect both
+  sides of a sim-vs-sim comparison equally are still caught.
+* :mod:`~repro.fuzz.differential` — the per-program evaluator: oracle
+  vs functional state, commit conservation, cross-backend byte drift,
+  the fill-partition invariant and slicer sanity, folded into one
+  picklable :class:`~repro.fuzz.differential.FuzzVerdict`.
+* :mod:`~repro.fuzz.triage` / :mod:`~repro.fuzz.shrink` /
+  :mod:`~repro.fuzz.campaign` — classification + deterministic
+  reporting, delta-debugging reduction of failing specs, and the
+  journaled, resumable campaign driver running verdict cells through
+  the fault-tolerant parallel engine.
+"""
+
+from .campaign import (CampaignResult, CampaignSpec, campaign_cells,
+                       run_campaign)
+from .differential import FuzzCheckSpec, FuzzVerdict, evaluate_workload
+from .generator import (KernelDials, KernelSpec, FuzzWorkload, SpecWorkload,
+                        encode_name, fuzz_workload_from_name, materialize,
+                        parse_name, sample_spec, spec_from_json, spec_to_json)
+from .oracle import run_oracle
+from .shrink import shrink
+from .triage import TriageReport, triage
+
+__all__ = [
+    "CampaignResult", "CampaignSpec", "campaign_cells", "run_campaign",
+    "FuzzCheckSpec", "FuzzVerdict", "evaluate_workload",
+    "KernelDials", "KernelSpec", "FuzzWorkload", "SpecWorkload",
+    "encode_name", "fuzz_workload_from_name", "materialize", "parse_name",
+    "sample_spec", "spec_from_json", "spec_to_json",
+    "run_oracle", "shrink", "TriageReport", "triage",
+]

@@ -1,0 +1,250 @@
+"""Per-program differential evaluation: one kernel, one verdict.
+
+For each generated kernel the evaluator runs the full reproduction
+pipeline and cross-checks every layer against an independent witness:
+
+* **oracle**      — final architectural state (registers + memory) of
+  the functional simulator vs the :mod:`~repro.fuzz.oracle` interpreter
+  executing the spec IR directly;
+* **halt**        — the program reaches its halt within budget (true by
+  construction; a miss means the generator or simulator lost control
+  flow);
+* **slicer**      — every extracted p-thread names a real load as its
+  trigger and stays inside the text segment;
+* **commits**     — each timing run commits exactly the functional
+  trace (no instruction duplicated or dropped), baseline and SPEAR;
+* **backends**    — reference vs fast-forward produce byte-identical
+  stats, memory and predictor state for every config;
+* **sweep**       — (sampled) the batched latency sweep matches
+  independently-run points;
+* **fills**       — ``timely + late + unused == fills`` for every
+  speculative-fill source.
+
+Any failed check makes the verdict a **divergence**; otherwise the
+kernel is classified speedup / neutral / regression from the
+SPEAR-vs-baseline IPC ratio on the reference backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.driver import compile_spear
+from ..compiler.slicer import SlicerConfig
+from ..core.configs import PAPER_CONFIGS, MachineConfig
+from ..functional.simulator import FunctionalSimulator
+from ..memory.hierarchy import FIG9_LATENCIES, MemoryHierarchy
+from ..pipeline.kernel import make_simulator
+from ..pipeline.stats import PipelineResult
+from ..pipeline.sweep import BatchedSweepSimulator
+from .generator import SpecWorkload, spec_layout
+from .oracle import functional_summary, run_oracle
+
+
+@dataclass(frozen=True)
+class FuzzCheckSpec:
+    """What one fuzz cell checks — picklable, hashable, and folded into
+    the cell's cache/journal key, so changing any knob re-verdicts."""
+
+    #: (baseline, spear) config names from the paper's evaluated models
+    configs: tuple[str, str] = ("baseline", "SPEAR-256")
+    #: timing kernels cross-checked for byte drift
+    backends: tuple[str, ...] = ("reference", "fast-forward")
+    #: latency points for the batched-sweep-vs-independent check
+    #: (0 disables; campaigns sample it on a subset of programs)
+    sweep_points: int = 0
+    #: IPC-ratio thresholds for speedup / regression classification
+    speedup: float = 1.05
+    regression: float = 0.95
+
+    def payload(self) -> dict:
+        return {"configs": list(self.configs),
+                "backends": list(self.backends),
+                "sweep_points": self.sweep_points,
+                "speedup": self.speedup, "regression": self.regression}
+
+    def resolve_configs(self) -> tuple[MachineConfig, MachineConfig]:
+        return PAPER_CONFIGS[self.configs[0]], PAPER_CONFIGS[self.configs[1]]
+
+
+@dataclass(frozen=True)
+class FuzzVerdict:
+    """The (small, picklable) outcome of one program's evaluation."""
+
+    name: str
+    classification: str          #: speedup | neutral | regression | divergence
+    speedup: float               #: SPEAR/baseline IPC ratio (reference)
+    baseline_ipc: float
+    spear_ipc: float
+    commits: int                 #: baseline committed instructions
+    trace_len: int               #: functional eval-trace length
+    halted: bool
+    triggers: int                #: SPEAR pre-execution modes entered
+    spec_size: int               #: statement count (shrink metric)
+    divergences: tuple[str, ...] = ()
+    checks: tuple[str, ...] = ()
+
+    @property
+    def diverged(self) -> bool:
+        return bool(self.divergences)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "classification": self.classification,
+                "speedup": round(self.speedup, 6),
+                "baseline_ipc": round(self.baseline_ipc, 6),
+                "spear_ipc": round(self.spear_ipc, 6),
+                "commits": self.commits, "trace_len": self.trace_len,
+                "halted": self.halted, "triggers": self.triggers,
+                "spec_size": self.spec_size,
+                "divergences": list(self.divergences),
+                "checks": list(self.checks)}
+
+
+def _result_state(result: PipelineResult) -> tuple:
+    """Everything a backend could drift on, in comparable form."""
+    return (result.stats, result.memory, result.predictor)
+
+
+def evaluate_workload(workload: SpecWorkload,
+                      check: FuzzCheckSpec = FuzzCheckSpec(), *,
+                      slicer_config: SlicerConfig | None = None,
+                      scale: float = 1.0) -> FuzzVerdict:
+    """Run every differential check on one generated workload."""
+    spec = workload.spec
+    divergences: list[str] = []
+    checks: list[str] = []
+
+    def fail(label: str, detail: str) -> None:
+        divergences.append(f"{label}: {detail}")
+
+    # -- functional execution + IR oracle ---------------------------------
+    # Either interpreter crashing on a never-faults-by-construction kernel
+    # is itself a confirmed finding, so crashes become divergences rather
+    # than killing the cell (which would hide them from triage).
+    evalp = workload.program("eval")
+    budget = int(workload.eval_instructions * scale)
+    sim = FunctionalSimulator(evalp)
+    checks.append("halt")
+    trace = None
+    try:
+        trace = sim.run(budget, trace=True)
+        if not sim.halted:
+            fail("halt", f"no halt within {budget} instructions")
+    except Exception as exc:
+        fail("crash", f"functional: {type(exc).__name__}: {exc}")
+
+    checks.append("oracle")
+    try:
+        oracle = run_oracle(spec, workload.variant_rng("eval"))
+        expected = oracle.summary()
+    except Exception as exc:
+        expected = None
+        fail("crash", f"oracle: {type(exc).__name__}: {exc}")
+    if sim.halted and expected is not None:
+        actual = functional_summary(sim, spec, spec_layout(spec))
+        if expected != actual:
+            for part in ("ints", "fps", "memory"):
+                if expected[part] != actual[part]:
+                    fail("oracle", f"{part}: functional={actual[part]!r} "
+                                   f"oracle={expected[part]!r}")
+    if trace is None:
+        return FuzzVerdict(
+            name=workload.name, classification="divergence", speedup=0.0,
+            baseline_ipc=0.0, spear_ipc=0.0, commits=0, trace_len=0,
+            halted=False, triggers=0, spec_size=spec.size(),
+            divergences=tuple(divergences), checks=tuple(checks))
+
+    # -- compile (slicer on generated control flow) -----------------------
+    checks.append("slicer")
+    table = None
+    try:
+        train = workload.program("train")
+        binary, _, _ = compile_spear(
+            train, evalp, slicer_config=slicer_config or SlicerConfig(),
+            max_profile_instructions=int(
+                workload.profile_instructions * scale))
+        table = binary.table
+        n_text = len(evalp.instructions)
+        for pt in table:
+            if not evalp.instructions[pt.dload_pc].is_load:
+                fail("slicer", f"d-load pc {pt.dload_pc} is not a load")
+            if any(not 0 <= pc < n_text for pc in pt.slice_pcs):
+                fail("slicer", f"slice of {pt.dload_pc} leaves the text")
+    except Exception as exc:  # a compiler crash is itself a finding
+        fail("compile", f"{type(exc).__name__}: {exc}")
+
+    # -- timing runs: configs x backends ----------------------------------
+    base_cfg, spear_cfg = check.resolve_configs()
+    results: dict[tuple[str, str], PipelineResult] = {}
+    checks.extend(["commits", "backends", "fills"])
+    for cfg in (base_cfg, spear_cfg):
+        cfg_table = table if cfg.spear_enabled else None
+        for backend in check.backends:
+            try:
+                res = make_simulator(
+                    backend, trace, cfg, cfg_table,
+                    MemoryHierarchy(latencies=cfg.latencies)).run()
+            except Exception as exc:
+                fail("timing", f"{cfg.name}/{backend}: "
+                               f"{type(exc).__name__}: {exc}")
+                continue
+            results[(cfg.name, backend)] = res
+            if res.stats.committed != len(trace):
+                fail("commits",
+                     f"{cfg.name}/{backend}: committed "
+                     f"{res.stats.committed} != trace {len(trace)}")
+            for source, f in res.memory["fills"].items():
+                if f["timely"] + f["late"] + f["unused"] != f["fills"]:
+                    fail("fills", f"{cfg.name}/{backend}/{source}: "
+                                  f"{f['timely']}+{f['late']}+{f['unused']}"
+                                  f" != {f['fills']}")
+        ref = results.get((cfg.name, check.backends[0]))
+        for backend in check.backends[1:]:
+            other = results.get((cfg.name, backend))
+            if ref is None or other is None:
+                continue
+            if _result_state(other) != _result_state(ref):
+                fail("backends",
+                     f"{cfg.name}: {backend} drifts from "
+                     f"{check.backends[0]}")
+
+    # -- batched sweep vs independent points (sampled) --------------------
+    if check.sweep_points > 0 and table is not None:
+        checks.append("sweep")
+        step = max(1, len(FIG9_LATENCIES) // check.sweep_points)
+        points = FIG9_LATENCIES[::step][:check.sweep_points]
+        try:
+            sweep = BatchedSweepSimulator(trace, spear_cfg, points, table)
+            for lat, swept in zip(points, sweep.run()):
+                solo = make_simulator(
+                    sweep.kernel, trace,
+                    spear_cfg.with_latencies(lat), table,
+                    MemoryHierarchy(latencies=lat)).run()
+                if _result_state(swept) != _result_state(solo):
+                    fail("sweep", f"mem={lat.memory}: batched sweep "
+                                  f"drifts from independent run")
+        except Exception as exc:
+            fail("sweep", f"{type(exc).__name__}: {exc}")
+
+    # -- classification ----------------------------------------------------
+    base = results.get((base_cfg.name, check.backends[0]))
+    spear = results.get((spear_cfg.name, check.backends[0]))
+    base_ipc = base.ipc if base is not None else 0.0
+    spear_ipc = spear.ipc if spear is not None else 0.0
+    ratio = spear_ipc / base_ipc if base_ipc else 0.0
+    if divergences:
+        cls = "divergence"
+    elif ratio >= check.speedup:
+        cls = "speedup"
+    elif ratio <= check.regression:
+        cls = "regression"
+    else:
+        cls = "neutral"
+    return FuzzVerdict(
+        name=workload.name, classification=cls, speedup=ratio,
+        baseline_ipc=base_ipc, spear_ipc=spear_ipc,
+        commits=base.stats.committed if base is not None else 0,
+        trace_len=len(trace), halted=sim.halted,
+        triggers=spear.stats.spear.triggers if spear is not None else 0,
+        spec_size=spec.size(),
+        divergences=tuple(divergences), checks=tuple(checks))

@@ -1,0 +1,255 @@
+"""Independent interpreter over the :class:`KernelSpec` IR.
+
+Both timing configurations replay the *same* functional trace, so a
+sim-vs-sim differential is blind to bugs in the functional simulator
+itself — both sides would be wrong identically.  This oracle closes
+that hole Revizor-style (model vs model): it executes the spec at the
+statement level, never touching :mod:`repro.functional`, and produces
+the expected final architectural state.  Any mismatch against the
+functional simulator's final registers or memory is a confirmed
+divergence in one of the two interpreters.
+
+The arithmetic here intentionally re-states the ISA contract from
+scratch: two's-complement 64-bit wrapping, RISC-V M total div/rem
+(x/0 == -1, x%0 == x, INT64_MIN / -1 wraps), IEEE-754 non-trapping
+fp (x/0 -> ±inf, 0/0 -> NaN, sqrt(<0) -> NaN) and saturating
+float-to-int conversion.  This is precisely the surface where the
+pre-campaign audit found the simulator drifting (float-precision
+division, trapping edges, zero-extending ``lb``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from .generator import FP_SCRATCH, INT_SCRATCH, KernelSpec, spec_arrays
+
+_MASK = (1 << 64) - 1
+_SIGN = 1 << 63
+_NAN = float("nan")
+_INF = float("inf")
+_F_2P63 = float(1 << 63)
+
+
+def _w(v: int) -> int:
+    v &= _MASK
+    return v - (1 << 64) if v & _SIGN else v
+
+
+class OracleState:
+    """Expected final architectural state of one spec execution."""
+
+    def __init__(self, spec: KernelSpec, arrays: dict):
+        self.n = spec.mem_words
+        self.ints = [_w(v) for v in spec.init]
+        self.fps = [float(v) for v in spec.finit]
+        self.data = np.array(arrays["data"], dtype=np.int64)
+        self.cycle = np.array(arrays["cycle"], dtype=np.int64)
+        self.fdata = np.array(arrays["fdata"], dtype=np.float64)
+        self.bits = np.array(arrays["bits"], dtype=np.int64)
+        self.stream_off = 0        # byte offset of the stream cursor
+
+    def memory_digest(self) -> str:
+        """Digest over the mutable arrays, as laid out in program memory
+        (data, then fdata — cycle and bits are never stored to)."""
+        h = hashlib.sha256()
+        h.update(self.data.tobytes())
+        h.update(self.fdata.tobytes())
+        return h.hexdigest()
+
+    def summary(self) -> dict:
+        return {"ints": list(self.ints),
+                "fps": [repr(f) for f in self.fps],
+                "memory": self.memory_digest()}
+
+
+def run_oracle(spec: KernelSpec, rng: np.random.Generator) -> OracleState:
+    """Execute ``spec`` with data drawn from ``rng`` (the workload's
+    variant rng) and return the expected final state."""
+    state = OracleState(spec, spec_arrays(spec, rng))
+    for trip, body in spec.loops:
+        for _ in range(trip):
+            for stmt in body:
+                _exec(state, stmt)
+    return state
+
+
+def _exec(st: OracleState, s: tuple) -> None:
+    kind = s[0]
+    ints, fps = st.ints, st.fps
+    mask = st.n - 1
+    if kind == "alu":
+        _, op, d, s1, s2, imm = s
+        a, b = ints[s1], ints[s2]
+        if op == "add":
+            r = _w(a + b)
+        elif op == "sub":
+            r = _w(a - b)
+        elif op == "xor":
+            r = a ^ b
+        elif op == "and":
+            r = a & b
+        elif op == "or":
+            r = a | b
+        elif op == "mul":
+            r = _w(a * b)
+        elif op == "sll":
+            r = _w(a << (b & 63))
+        elif op == "srl":
+            # Wrap back to signed: srl by 0 of a negative must stay
+            # negative (bit pattern unchanged), not become unsigned.
+            r = _w((a & _MASK) >> (b & 63))
+        elif op == "sra":
+            r = a >> (b & 63)
+        elif op == "slt":
+            r = 1 if a < b else 0
+        elif op == "sltu":
+            r = 1 if (a & _MASK) < (b & _MASK) else 0
+        elif op == "addi":
+            r = _w(a + imm)
+        elif op == "andi":
+            r = a & imm
+        elif op == "ori":
+            r = _w(a | imm)
+        elif op == "xori":
+            r = _w(a ^ imm)
+        elif op == "slli":
+            r = _w(a << (imm & 63))
+        elif op == "srli":
+            r = _w((a & _MASK) >> (imm & 63))
+        elif op == "srai":
+            r = a >> (imm & 63)
+        else:  # slti
+            r = 1 if a < imm else 0
+        ints[d] = r
+    elif kind == "div":
+        _, op, d, s1, s2 = s
+        a, b = ints[s1], ints[s2]
+        if b == 0:
+            ints[d] = -1 if op == "div" else a
+        else:
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            ints[d] = _w(q) if op == "div" else _w(a - q * b)
+    elif kind == "chase":
+        _, d, s1, depth = s
+        cur = ints[s1]
+        for _ in range(depth):
+            cur = int(st.cycle[cur & mask])
+        ints[d] = cur
+    elif kind == "gather":
+        _, d, s1, fan = s
+        acc = 0
+        base = ints[s1]
+        for j in range(fan):
+            acc = _w(acc + int(st.data[_w(base + j) & mask]))
+        ints[d] = acc
+    elif kind == "stream":
+        _, d, stride = s
+        ints[d] = int(st.data[st.stream_off >> 3])
+        st.stream_off = (st.stream_off + stride * 8) & (mask * 8)
+    elif kind == "store":
+        _, src, idx = s
+        st.data[ints[idx] & mask] = ints[src]
+    elif kind == "bload":
+        _, d, s1 = s
+        b = int(st.data.view(np.uint8)[ints[s1] & (st.n * 8 - 1)])
+        ints[d] = b - 256 if b >= 128 else b
+    elif kind == "bstore":
+        _, src, idx = s
+        st.data.view(np.uint8)[ints[idx] & (st.n * 8 - 1)] = ints[src] & 0xFF
+    elif kind == "fp":
+        _, op, fd, f1, f2 = s
+        a, b = fps[f1], fps[f2]
+        if op == "fadd":
+            r = a + b
+        elif op == "fsub":
+            r = a - b
+        elif op == "fmul":
+            r = a * b
+        elif op == "fdiv":
+            if b == 0.0:
+                r = _NAN if (a == 0.0 or a != a) else (
+                    math.copysign(_INF, a) * math.copysign(1.0, b))
+            else:
+                r = a / b
+        elif op == "fmin":
+            r = min(a, b)
+        else:  # fmax
+            r = max(a, b)
+        fps[fd] = r
+    elif kind == "fun":
+        _, op, fd, f1 = s
+        v = fps[f1]
+        if op == "fsqrt":
+            fps[fd] = _NAN if v < 0.0 else v ** 0.5
+        elif op == "fneg":
+            fps[fd] = -v
+        elif op == "fabs":
+            fps[fd] = abs(v)
+        else:  # fmov
+            fps[fd] = v
+    elif kind == "fcmp":
+        _, op, d, f1, f2 = s
+        a, b = fps[f1], fps[f2]
+        if op == "flt":
+            ints[d] = 1 if a < b else 0
+        elif op == "fle":
+            ints[d] = 1 if a <= b else 0
+        else:  # feq
+            ints[d] = 1 if a == b else 0
+    elif kind == "cvtif":
+        _, fd, s1 = s
+        fps[fd] = float(ints[s1])
+    elif kind == "cvtfi":
+        _, d, f1 = s
+        v = fps[f1]
+        if v != v or v >= _F_2P63:
+            ints[d] = (1 << 63) - 1
+        elif v <= -_F_2P63:
+            ints[d] = -(1 << 63)
+        else:
+            ints[d] = int(v)
+    elif kind == "fload":
+        _, fd, s1 = s
+        fps[fd] = float(st.fdata[ints[s1] & mask])
+    elif kind == "fstore":
+        _, fs, idx = s
+        st.fdata[ints[idx] & mask] = fps[fs]
+    elif kind == "hammock":
+        _, cond, s1, s2, then, els = s
+        a, b = ints[s1], ints[s2]
+        if cond == "entropy":
+            taken = int(st.bits[a & mask]) != 0
+        elif cond == "beq":
+            taken = a == b
+        elif cond == "bne":
+            taken = a != b
+        elif cond == "blt":
+            taken = a < b
+        elif cond == "bge":
+            taken = a >= b
+        elif cond == "bltz":
+            taken = a < 0
+        else:  # bgez
+            taken = a >= 0
+        for sub in (then if taken else els):
+            _exec(st, sub)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown statement kind {kind!r}")
+
+
+def functional_summary(sim, spec: KernelSpec, layout: dict) -> dict:
+    """The functional simulator's final state, shaped like
+    :meth:`OracleState.summary` for direct comparison."""
+    n = spec.mem_words
+    ints = [sim.read_ireg(int(r[1:])) for r in INT_SCRATCH]
+    fps = [repr(sim.read_freg(int(f[1:]))) for f in FP_SCRATCH]
+    h = hashlib.sha256()
+    h.update(bytes(sim.mem[layout["data"]:layout["data"] + n * 8]))
+    h.update(bytes(sim.mem[layout["fdata"]:layout["fdata"] + n * 8]))
+    return {"ints": ints, "fps": fps, "memory": h.hexdigest()}

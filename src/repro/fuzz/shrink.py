@@ -1,0 +1,118 @@
+"""Delta-debugging reduction of failing kernel specs.
+
+Given a spec whose evaluation diverges and a predicate that re-checks a
+candidate ("does this still reproduce the finding?"), :func:`shrink`
+greedily applies structural reductions until none helps:
+
+* drop a whole loop;
+* drop a single statement (at any hammock nesting depth);
+* collapse a hammock to one of its arms;
+* halve a loop's trip count;
+* halve the memory footprint;
+* zero an initial scratch value (int or fp).
+
+Reduction is **monotone** — a candidate is only accepted if the
+predicate still holds and the candidate is strictly smaller under
+:func:`_metric` — and **deterministic**: candidates are enumerated in a
+fixed structural order and the first improvement is taken, so the same
+(spec, predicate) pair always reduces to the same fixpoint.  The spec
+IR is what makes this tractable: reductions are tuple surgery, and the
+result can be serialized straight into ``tests/regress``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from .generator import KernelSpec
+
+
+def _metric(spec: KernelSpec) -> tuple:
+    """Shrink ordering: fewer statements first, then fewer dynamic
+    instructions, smaller memory, simpler initial state."""
+    return (spec.size(),
+            sum(trip for trip, _ in spec.loops),
+            spec.mem_words,
+            sum(1 for v in spec.init if v != 0),
+            sum(1 for v in spec.finit if v != 0.0))
+
+
+def _body_variants(body: tuple) -> Iterator[tuple]:
+    """Reduced versions of one statement tuple, structurally ordered."""
+    for i, s in enumerate(body):
+        rest = body[:i] + body[i + 1:]
+        yield rest                                      # drop statement
+        if s[0] == "hammock":
+            _, cond, s1, s2, then, els = s
+            yield body[:i] + then + body[i + 1:]        # inline then-arm
+            if els:
+                yield body[:i] + els + body[i + 1:]     # inline else-arm
+            for tv in _body_variants(then):
+                yield (body[:i]
+                       + (("hammock", cond, s1, s2, tv, els),)
+                       + body[i + 1:])
+            for ev in _body_variants(els):
+                yield (body[:i]
+                       + (("hammock", cond, s1, s2, then, ev),)
+                       + body[i + 1:])
+
+
+def _candidates(spec: KernelSpec) -> Iterator[KernelSpec]:
+    loops = spec.loops
+    # 1. drop whole loops
+    for i in range(len(loops)):
+        yield replace(spec, loops=loops[:i] + loops[i + 1:])
+    # 2. structural body reductions
+    for i, (trip, body) in enumerate(loops):
+        for variant in _body_variants(body):
+            yield replace(spec, loops=(loops[:i] + ((trip, variant),)
+                                       + loops[i + 1:]))
+    # 3. halve trip counts
+    for i, (trip, body) in enumerate(loops):
+        if trip > 1:
+            yield replace(spec, loops=(loops[:i] + ((trip // 2, body),)
+                                       + loops[i + 1:]))
+    # 4. halve the footprint (stays a power of two; floor keeps masks sane)
+    if spec.mem_words > 8:
+        yield replace(spec, mem_words=spec.mem_words // 2)
+    # 5. zero initial scratch values
+    for i, v in enumerate(spec.init):
+        if v != 0:
+            yield replace(spec, init=spec.init[:i] + (0,)
+                          + spec.init[i + 1:])
+    for i, v in enumerate(spec.finit):
+        if v != 0.0:
+            yield replace(spec, finit=spec.finit[:i] + (0.0,)
+                          + spec.finit[i + 1:])
+
+
+def shrink(spec: KernelSpec,
+           still_fails: Callable[[KernelSpec], bool], *,
+           max_evals: int = 2000) -> KernelSpec:
+    """Reduce ``spec`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must return True for ``spec`` itself (the caller
+    vouches the original reproduces the finding); it is then invoked on
+    candidate reductions — typically by materializing the candidate and
+    re-running :func:`~repro.fuzz.differential.evaluate_workload`.
+    Stops at a fixpoint (no candidate improves) or after ``max_evals``
+    predicate calls, whichever comes first, and returns the smallest
+    spec that still fails.
+    """
+    current = spec
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for cand in _candidates(current):
+            if _metric(cand) >= _metric(current):
+                continue
+            evals += 1
+            if still_fails(cand):
+                current = cand
+                improved = True
+                break               # greedy restart from the smaller spec
+            if evals >= max_evals:
+                break
+    return current

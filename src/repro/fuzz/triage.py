@@ -1,0 +1,94 @@
+"""Campaign triage: fold per-program verdicts into one report.
+
+The report is **byte-deterministic**: verdicts arrive from the parallel
+engine in submission order (which the engine guarantees regardless of
+``--jobs``), and every aggregate below is computed order-independently
+or preserves that order, so two same-seed campaigns render identical
+bytes — the property the CI determinism check diffs on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .differential import FuzzVerdict
+
+CLASSES = ("speedup", "neutral", "regression", "divergence")
+
+
+@dataclass
+class TriageReport:
+    """Aggregated outcome of one campaign."""
+
+    total: int = 0
+    counts: dict = field(default_factory=lambda: {c: 0 for c in CLASSES})
+    #: divergent verdicts, submission order — the campaign's work queue
+    divergences: list = field(default_factory=list)
+    #: strongest speedups/regressions (name, ratio), most extreme first
+    top_speedups: list = field(default_factory=list)
+    top_regressions: list = field(default_factory=list)
+    mean_speedup: float = 0.0
+    total_commits: int = 0
+
+    def to_dict(self) -> dict:
+        return {"total": self.total, "counts": dict(self.counts),
+                "divergences": [v.to_dict() for v in self.divergences],
+                "top_speedups": self.top_speedups,
+                "top_regressions": self.top_regressions,
+                "mean_speedup": self.mean_speedup,
+                "total_commits": self.total_commits}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        lines = [f"fuzz triage — {self.total} program(s), "
+                 f"{self.total_commits} instructions committed"]
+        for c in CLASSES:
+            n = self.counts[c]
+            pct = 100.0 * n / self.total if self.total else 0.0
+            lines.append(f"  {c:<10} {n:6d}  ({pct:5.1f}%)")
+        lines.append(f"  mean SPEAR/baseline IPC ratio: "
+                     f"{self.mean_speedup:.4f}")
+        if self.top_speedups:
+            lines.append("  strongest speedups:")
+            for name, ratio in self.top_speedups:
+                lines.append(f"    {ratio:7.3f}x  {name}")
+        if self.top_regressions:
+            lines.append("  strongest regressions:")
+            for name, ratio in self.top_regressions:
+                lines.append(f"    {ratio:7.3f}x  {name}")
+        if self.divergences:
+            lines.append(f"  DIVERGENCES ({len(self.divergences)}):")
+            for v in self.divergences:
+                lines.append(f"    {v.name}")
+                for d in v.divergences:
+                    lines.append(f"      - {d}")
+        else:
+            lines.append("  no divergences.")
+        return "\n".join(lines)
+
+
+def triage(verdicts: list[FuzzVerdict], *, top: int = 5) -> TriageReport:
+    """Classify a campaign's verdicts (submission order preserved)."""
+    report = TriageReport(total=len(verdicts))
+    ratios = []
+    for v in verdicts:
+        report.counts[v.classification] += 1
+        report.total_commits += v.commits
+        if v.diverged:
+            report.divergences.append(v)
+        else:
+            ratios.append(v.speedup)
+    if ratios:
+        report.mean_speedup = sum(ratios) / len(ratios)
+    clean = [v for v in verdicts if not v.diverged]
+    ups = sorted((v for v in clean if v.classification == "speedup"),
+                 key=lambda v: (-v.speedup, v.name))
+    downs = sorted((v for v in clean if v.classification == "regression"),
+                   key=lambda v: (v.speedup, v.name))
+    report.top_speedups = [(v.name, round(v.speedup, 6)) for v in ups[:top]]
+    report.top_regressions = [(v.name, round(v.speedup, 6))
+                              for v in downs[:top]]
+    return report

@@ -81,7 +81,11 @@ def cell_key(runner, cell) -> str:
     :data:`SCHEMA_VERSION`."""
     spec = getattr(cell, "trace", None)
     backend = getattr(cell, "backend", None)
-    if isinstance(cell.latencies, tuple):
+    fuzz = getattr(cell, "fuzz", None)
+    if fuzz is not None:
+        kind = "fuzz"
+        payload = runner.fuzz_payload(cell.workload, fuzz)
+    elif isinstance(cell.latencies, tuple):
         # A batched-sweep cell's identity is the ordered set of its
         # per-point result keys — resume trusts it only when every
         # point's cache entry still exists.

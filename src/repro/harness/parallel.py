@@ -76,6 +76,13 @@ class Cell:
     :meth:`~repro.harness.runner.ExperimentRunner.run_sweep` pass and
     the result is the list of per-point ``PipelineResult``s, merged into
     the parent memo one latency at a time.
+
+    With ``fuzz`` set the cell is a differential-fuzzing evaluation: the
+    worker rebuilds the generated workload from its ``fuzz:`` name, runs
+    :meth:`~repro.harness.runner.ExperimentRunner.run_fuzz` under the
+    given check spec, and the result is one small picklable
+    :class:`~repro.fuzz.differential.FuzzVerdict` (``config`` is unused
+    — the check spec names the configs it compares).
     """
 
     workload: str
@@ -83,6 +90,7 @@ class Cell:
     latencies: LatencyConfig | tuple[LatencyConfig, ...] | None = None
     trace: TraceSpec | None = None
     backend: str | None = None
+    fuzz: object | None = None
 
     @property
     def is_sweep(self) -> bool:
@@ -340,6 +348,8 @@ def compute_cell(runner: ExperimentRunner, cell: Cell, *,
     serial path and the serve fleet.  With ``spill`` (cross-process
     callers) a traced payload is exchanged for its cache
     :class:`PayloadRef` instead of riding the result pipe."""
+    if cell.fuzz is not None:
+        return runner.run_fuzz(cell.workload, cell.fuzz)
     if cell.is_sweep:
         return runner.run_sweep(cell.workload, cell.config,
                                 list(cell.latencies))
@@ -441,7 +451,9 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
         # Merge in submission order so rendering is order-independent.
         for i, cell in indexed:
             if i in results:
-                if cell.trace is not None:
+                if cell.fuzz is not None:
+                    runner.seed_fuzz(cell.workload, cell.fuzz, results[i])
+                elif cell.trace is not None:
                     runner.seed_traced(cell.workload, cell.config,
                                        cell.latencies, cell.trace, results[i],
                                        cell.backend)
@@ -486,6 +498,8 @@ def _graceful_term():
 
 def _memoized(runner: ExperimentRunner, cell: Cell) -> bool:
     """Whether the runner's memo already holds this cell's payload."""
+    if cell.fuzz is not None:
+        return runner.has_fuzz(cell.workload, cell.fuzz)
     if cell.trace is not None:
         return runner.has_traced(cell.workload, cell.config, cell.latencies,
                                  cell.trace, cell.backend)
@@ -512,7 +526,10 @@ def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
     for cell in unique:
         restored = None
         if cell_key(runner, cell) in done and runner.cache is not None:
-            if cell.is_sweep:
+            if cell.fuzz is not None:
+                restored = runner.cache.get(
+                    "fuzz", runner.fuzz_payload(cell.workload, cell.fuzz))
+            elif cell.is_sweep:
                 points = [runner.cache.get(
                     "results", runner.result_payload(
                         cell.workload,
@@ -533,7 +550,9 @@ def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
                     "results", runner.result_payload(cell.workload, config,
                                                      cell.backend))
         if restored is not None:
-            if cell.trace is not None:
+            if cell.fuzz is not None:
+                runner.seed_fuzz(cell.workload, cell.fuzz, restored)
+            elif cell.trace is not None:
                 runner.seed_traced(cell.workload, cell.config, cell.latencies,
                                    cell.trace, restored, cell.backend)
             elif cell.is_sweep:

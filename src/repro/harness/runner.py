@@ -118,6 +118,10 @@ class ExperimentRunner:
         #: traced runs memoize separately: their results carry timelines
         #: and must never masquerade as plain "results" cache entries.
         self._traced: dict[tuple, TracedRun] = {}
+        #: fuzz verdicts memoize under their own kind too — a verdict is
+        #: the outcome of many runs plus the differential checks, not a
+        #: ``PipelineResult``.
+        self._fuzz: dict[tuple, object] = {}
         #: artifact builds actually executed (cache hits don't count)
         self.builds = 0
         #: timing simulations actually executed (memo/cache hits don't count)
@@ -163,6 +167,14 @@ class ExperimentRunner:
         plus the trace parameters, under the ``"traces"`` kind."""
         payload = self.result_payload(name, config, backend)
         payload["trace"] = spec.payload()
+        return payload
+
+    def fuzz_payload(self, name: str, check) -> dict:
+        """Cache/journal key payload of one fuzz cell: the workload name
+        (which fully encodes the generated program), the runner knobs
+        that change evaluation, and every differential-check knob."""
+        payload = self._artifact_payload(name)
+        payload["fuzz"] = check.payload()
         return payload
 
     @staticmethod
@@ -361,6 +373,41 @@ class ExperimentRunner:
             sink.close()
         return result, sink.emitted
 
+    def run_fuzz(self, name: str, check):
+        """Evaluate one generated kernel differentially (memo/cached).
+
+        ``name`` must be a ``fuzz:`` workload name; the verdict — a
+        small picklable :class:`~repro.fuzz.differential.FuzzVerdict` —
+        caches under the ``"fuzz"`` kind, so campaigns resume and rerun
+        for free exactly like figures do.
+        """
+        from ..fuzz.differential import evaluate_workload
+        key = (name, check)
+        verdict = self._fuzz.get(key)
+        if verdict is None:
+            if self.cache is not None:
+                verdict = self.cache.get("fuzz", self.fuzz_payload(name,
+                                                                   check))
+            if verdict is None:
+                workload = get_workload(name)
+                verdict = evaluate_workload(
+                    workload, check, slicer_config=self.slicer_config,
+                    scale=self.instruction_scale)
+                self.simulations += len(check.configs) * len(check.backends)
+                if self.cache is not None:
+                    self.cache.put("fuzz", self.fuzz_payload(name, check),
+                                   verdict)
+            self._fuzz[key] = verdict
+        return verdict
+
+    def seed_fuzz(self, name: str, check, verdict) -> None:
+        """Adopt a verdict computed elsewhere (parallel engine merge)."""
+        self._fuzz[(name, check)] = verdict
+
+    def has_fuzz(self, name: str, check) -> bool:
+        """Whether the memo already holds this fuzz cell's verdict."""
+        return (name, check) in self._fuzz
+
     def seed_result(self, name: str, config: MachineConfig,
                     latencies: LatencyConfig | None,
                     result: PipelineResult,
@@ -413,5 +460,6 @@ class ExperimentRunner:
         self._artifacts.clear()
         self._results.clear()
         self._traced.clear()
+        self._fuzz.clear()
         self.builds = 0
         self.simulations = 0

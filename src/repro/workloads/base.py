@@ -115,7 +115,16 @@ def register(cls: type[Workload]) -> type[Workload]:
 
 
 def get_workload(name: str) -> Workload:
-    """Instantiate a registered workload by name."""
+    """Instantiate a registered workload by name.
+
+    ``fuzz:...`` names are virtual: they encode a generated kernel's
+    full identity (see :func:`repro.fuzz.generator.encode_name`) and are
+    rebuilt from the string instead of the registry, so parallel workers
+    and cache keys need nothing beyond the name itself.
+    """
+    if name.startswith("fuzz:"):
+        from ..fuzz.generator import fuzz_workload_from_name
+        return fuzz_workload_from_name(name)
     try:
         return _REGISTRY[name]()
     except KeyError:

@@ -1,5 +1,7 @@
 """Architectural semantics of every opcode plus fault handling."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -100,13 +102,31 @@ class TestMulDiv:
                     "mul r5, r3, r2\nadd r6, r5, r4")
         assert s.read_ireg(6) == -13
 
-    def test_div_by_zero_faults(self):
-        with pytest.raises(SimulationError, match="division by zero"):
-            run_asm("li r1, 1\ndiv r2, r1, r0")
+    def test_div_by_zero_returns_all_ones(self):
+        # RISC-V M: division by zero does not trap; quotient is -1.
+        s = run_asm("li r1, 17\ndiv r2, r1, r0\nli r3, -17\ndiv r4, r3, r0")
+        assert s.read_ireg(2) == -1
+        assert s.read_ireg(4) == -1
 
-    def test_rem_by_zero_faults(self):
-        with pytest.raises(SimulationError):
-            run_asm("li r1, 1\nrem r2, r1, r0")
+    def test_rem_by_zero_returns_dividend(self):
+        s = run_asm("li r1, 17\nrem r2, r1, r0\nli r3, -17\nrem r4, r3, r0")
+        assert s.read_ireg(2) == 17
+        assert s.read_ireg(4) == -17
+
+    def test_div_overflow_wraps(self):
+        # INT64_MIN / -1 overflows; RISC-V wraps to INT64_MIN, rem is 0.
+        s = run_asm(f"li r1, {-2**63}\nli r2, -1\n"
+                    "div r3, r1, r2\nrem r4, r1, r2")
+        assert s.read_ireg(3) == -2 ** 63
+        assert s.read_ireg(4) == 0
+
+    def test_div_exact_beyond_float53(self):
+        # Full-width operands must divide exactly — a float round-trip
+        # (int(a / d)) loses precision above 2^53.
+        a = (1 << 62) + 3
+        s = run_asm(f"li r1, {a}\nli r2, 3\ndiv r3, r1, r2\nrem r4, r1, r2")
+        assert s.read_ireg(3) == a // 3
+        assert s.read_ireg(4) == a - (a // 3) * 3
 
 
 class TestMemory:
@@ -120,8 +140,15 @@ class TestMemory:
         assert s.read_ireg(3) == 5
 
     def test_byte_store_load(self):
-        s = run_asm("li r1, 0x103\nli r2, 200\nsb r2, 0(r1)\nlb r3, 0(r1)")
-        assert s.read_ireg(3) == 200
+        s = run_asm("li r1, 0x103\nli r2, 77\nsb r2, 0(r1)\nlb r3, 0(r1)")
+        assert s.read_ireg(3) == 77
+
+    def test_byte_load_sign_extends(self):
+        # lb sign-extends bit 7: storing 200 (0xC8) reads back as -56.
+        s = run_asm("li r1, 0x103\nli r2, 200\nsb r2, 0(r1)\nlb r3, 0(r1)\n"
+                    "li r4, -1\nsb r4, 8(r1)\nlb r5, 8(r1)")
+        assert s.read_ireg(3) == 200 - 256
+        assert s.read_ireg(5) == -1
 
     def test_data_segment_readable(self):
         s = run_asm(".data 0x200\n.word 11 22 33\nli r1, 0x200\nlw r2, 8(r1)")
@@ -181,13 +208,31 @@ class TestFloat:
                     "flw f2, 0(r2)")
         assert s.read_freg(2) == 5.0
 
-    def test_fdiv_zero_faults(self):
-        with pytest.raises(SimulationError):
-            run_asm("cvtif f1, r0\ncvtif f2, r0\nfdiv f3, f2, f1")
+    def test_fdiv_zero_is_ieee(self):
+        # IEEE 754 default results: x/0 -> ±inf, 0/0 -> NaN (no trap).
+        s = run_asm("li r1, 3\ncvtif f1, r1\ncvtif f2, r0\n"
+                    "fdiv f3, f1, f2\n"           # 3/0 -> +inf
+                    "li r2, -3\ncvtif f4, r2\n"
+                    "fdiv f5, f4, f2\n"           # -3/0 -> -inf
+                    "fdiv f6, f2, f2")            # 0/0 -> NaN
+        assert s.read_freg(3) == float("inf")
+        assert s.read_freg(5) == float("-inf")
+        assert math.isnan(s.read_freg(6))
 
-    def test_fsqrt_negative_faults(self):
-        with pytest.raises(SimulationError):
-            run_asm("li r1, -1\ncvtif f1, r1\nfsqrt f2, f1")
+    def test_fsqrt_negative_is_nan(self):
+        s = run_asm("li r1, -1\ncvtif f1, r1\nfsqrt f2, f1")
+        assert math.isnan(s.read_freg(2))
+
+    def test_cvtfi_saturates(self):
+        # Out-of-range and NaN conversions saturate (RISC-V FCVT.L.D).
+        s = run_asm("li r1, 1\ncvtif f1, r1\ncvtif f2, r0\n"
+                    "fdiv f3, f1, f2\n"           # +inf
+                    "cvtfi r2, f3\n"
+                    "fneg f4, f3\ncvtfi r3, f4\n"  # -inf
+                    "fdiv f5, f2, f2\ncvtfi r4, f5")  # NaN
+        assert s.read_ireg(2) == 2 ** 63 - 1
+        assert s.read_ireg(3) == -2 ** 63
+        assert s.read_ireg(4) == 2 ** 63 - 1
 
 
 class TestControl:

@@ -1,0 +1,149 @@
+"""IR oracle vs functional simulator: the model-vs-model differential.
+
+The oracle re-states the ISA contract independently of
+:mod:`repro.functional`; these tests assert both interpreters agree on
+whole sampled kernels and, statement by statement, on exactly the
+arithmetic edges the pre-campaign audit fixed in the simulator
+(float-imprecise DIV, trapping div/rem/fdiv/fsqrt, zero-extending lb,
+crashing CVTFI).
+"""
+
+import numpy as np
+import pytest
+
+from repro.functional import FunctionalSimulator
+from repro.fuzz.generator import KernelSpec, SpecWorkload, sample_spec, \
+    spec_layout
+from repro.fuzz.oracle import functional_summary, run_oracle
+
+I64_MIN = -(1 << 63)
+
+
+def _agree(workload: SpecWorkload):
+    sim = FunctionalSimulator(workload.program("eval"))
+    sim.run(workload.eval_instructions)
+    assert sim.halted
+    expected = run_oracle(workload.spec, workload.variant_rng("eval"))
+    actual = functional_summary(sim, workload.spec,
+                                spec_layout(workload.spec))
+    assert actual == expected.summary()
+    return expected
+
+
+def _edge_spec(body, init=(0,) * 8, finit=(0.0,) * 6, trips=1):
+    return KernelSpec(mem_words=64, p_taken=0.5, init=tuple(init),
+                      finit=tuple(finit), loops=((trips, tuple(body)),))
+
+
+def _workload(spec):
+    return SpecWorkload(spec, "fuzz:v1:999:0")
+
+
+class TestSampledAgreement:
+    @pytest.mark.parametrize("index", range(8))
+    def test_oracle_matches_functional(self, index):
+        _agree(_workload(sample_spec(47, index)))
+
+
+class TestArithmeticEdges:
+    def test_div_rem_by_zero(self):
+        spec = _edge_spec([("div", "div", 2, 0, 1), ("div", "rem", 3, 0, 1)],
+                          init=(77, 0, 0, 0, 0, 0, 0, 0))
+        state = _agree(_workload(spec))
+        assert state.ints[2] == -1 and state.ints[3] == 77
+
+    def test_div_overflow_wraps(self):
+        spec = _edge_spec([("div", "div", 2, 0, 1), ("div", "rem", 3, 0, 1)],
+                          init=(I64_MIN, -1, 0, 0, 0, 0, 0, 0))
+        state = _agree(_workload(spec))
+        assert state.ints[2] == I64_MIN and state.ints[3] == 0
+
+    def test_div_exact_beyond_float53(self):
+        a = (1 << 62) + 3
+        spec = _edge_spec([("div", "div", 2, 0, 1)],
+                          init=(a, 3, 0, 0, 0, 0, 0, 0))
+        state = _agree(_workload(spec))
+        assert state.ints[2] == a // 3
+
+    def test_srl_by_zero_stays_canonical(self):
+        # The fuzz campaign's first find (fuzz:v1:0:791, shrunk into
+        # tests/regress/srl_zero_shift_unwrapped.json): srl by 0 of a
+        # negative value must keep the bit pattern — i.e. stay negative
+        # in canonical signed form — not turn into an unsigned >= 2^63.
+        spec = _edge_spec([("alu", "srl", 2, 0, 1, 0), ("store", 2, 1),
+                           ("alu", "srli", 3, 0, 0, 0)],
+                          init=(-7, 0, 0, 0, 0, 0, 0, 0))
+        state = _agree(_workload(spec))
+        assert state.ints[2] == -7 and state.ints[3] == -7
+
+    def test_sra_on_negative(self):
+        spec = _edge_spec([("alu", "srai", 2, 0, 0, 5)],
+                          init=(-1024, 0, 0, 0, 0, 0, 0, 0))
+        state = _agree(_workload(spec))
+        assert state.ints[2] == -32
+
+    def test_byte_load_sign_extends(self):
+        # bstore 0xC8 (200) then bload: must come back as -56.
+        spec = _edge_spec([("bstore", 0, 1), ("bload", 2, 1)],
+                          init=(200, 5, 0, 0, 0, 0, 0, 0))
+        state = _agree(_workload(spec))
+        assert state.ints[2] == -56
+
+    def test_fdiv_by_zero_is_ieee(self):
+        spec = _edge_spec([("fp", "fdiv", 2, 0, 1), ("fp", "fdiv", 3, 1, 1)],
+                          finit=(5.0, 0.0, 0.0, 0.0, 0.0, 0.0))
+        state = _agree(_workload(spec))
+        assert state.fps[2] == float("inf")
+        assert state.fps[3] != state.fps[3]          # 0/0 -> NaN
+
+    def test_fsqrt_negative_is_nan(self):
+        spec = _edge_spec([("fun", "fsqrt", 1, 0)],
+                          finit=(-4.0, 0.0, 0.0, 0.0, 0.0, 0.0))
+        state = _agree(_workload(spec))
+        assert state.fps[1] != state.fps[1]
+
+    def test_cvtfi_saturates(self):
+        spec = _edge_spec([("fp", "fdiv", 2, 0, 1),   # +inf
+                           ("cvtfi", 2, 2),
+                           ("fun", "fneg", 3, 2),
+                           ("cvtfi", 3, 3)],
+                          finit=(1.0, 0.0, 0.0, 0.0, 0.0, 0.0))
+        state = _agree(_workload(spec))
+        assert state.ints[2] == (1 << 63) - 1
+        assert state.ints[3] == I64_MIN
+
+    def test_mul_and_shift_wrap(self):
+        spec = _edge_spec([("alu", "mul", 2, 0, 0, 0),
+                           ("alu", "slli", 3, 0, 0, 63)],
+                          init=((1 << 40) + 7, 0, 0, 0, 0, 0, 0, 0))
+        state = _agree(_workload(spec))
+        assert abs(state.ints[2]) < 1 << 63
+        assert abs(state.ints[3]) <= 1 << 63
+
+    def test_stream_wraps_footprint(self):
+        spec = _edge_spec([("stream", 2, 4)], trips=200)
+        state = _agree(_workload(spec))
+        assert 0 <= state.stream_off < 64 * 8
+
+
+class TestMemoryEffects:
+    def test_stores_visible_in_digest(self):
+        base = _edge_spec([("store", 0, 1)], init=(123, 9, 0, 0, 0, 0, 0, 0))
+        other = _edge_spec([("store", 0, 1)], init=(124, 9, 0, 0, 0, 0, 0, 0))
+        a = _agree(_workload(base)).memory_digest()
+        b = _agree(_workload(other)).memory_digest()
+        assert a != b
+
+    def test_oracle_uses_variant_rng(self):
+        # The oracle must draw array data exactly like materialization:
+        # a different variant rng yields a different final state.
+        w = _workload(sample_spec(53, 0))
+        ev = run_oracle(w.spec, w.variant_rng("eval")).summary()
+        tr = run_oracle(w.spec, w.variant_rng("train")).summary()
+        assert ev != tr
+
+    def test_arrays_are_int64_clean(self):
+        w = _workload(sample_spec(53, 1))
+        state = run_oracle(w.spec, w.variant_rng("eval"))
+        assert state.data.dtype == np.int64
+        assert all(isinstance(v, int) for v in state.ints)

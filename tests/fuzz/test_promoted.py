@@ -1,0 +1,32 @@
+"""Promoted fuzz-found workloads keep the character they were kept for."""
+
+import pytest
+
+from repro.fuzz import FuzzCheckSpec, evaluate_workload
+from repro.workloads import get_workload
+
+PROMOTED = ("fzgain", "fzmix", "fzdrag", "fzsrl")
+
+
+@pytest.mark.parametrize("name", PROMOTED)
+def test_promoted_kernels_evaluate_clean(name):
+    verdict = evaluate_workload(get_workload(name), FuzzCheckSpec())
+    assert not verdict.diverged
+    assert verdict.halted
+
+
+def test_gain_kernels_still_gain():
+    for name in ("fzgain", "fzmix"):
+        v = evaluate_workload(get_workload(name), FuzzCheckSpec())
+        assert v.classification == "speedup", (name, v.speedup)
+
+
+def test_drag_kernel_still_regresses():
+    v = evaluate_workload(get_workload("fzdrag"), FuzzCheckSpec())
+    assert v.classification == "regression", v.speedup
+
+
+def test_srl_kernel_pins_the_original_bug_shape():
+    w = get_workload("fzsrl")
+    kinds = {s[0] for _, body in w.spec.loops for s in body}
+    assert {"store", "alu", "gather"} <= kinds

@@ -1,0 +1,86 @@
+"""Delta-debugging shrinker: still-fails, monotone, deterministic."""
+
+from repro.fuzz import shrink
+from repro.fuzz.generator import KernelSpec, sample_spec
+from repro.fuzz.shrink import _metric
+
+
+def _has_kind(spec: KernelSpec, kind: str) -> bool:
+    def walk(stmts):
+        for s in stmts:
+            if s[0] == kind:
+                return True
+            if s[0] == "hammock" and (walk(s[4]) or walk(s[5])):
+                return True
+        return False
+    return any(walk(body) for _, body in spec.loops)
+
+
+def _spec_with(kind: str, seed: int = 61) -> KernelSpec:
+    for i in range(200):
+        spec = sample_spec(seed, i)
+        if _has_kind(spec, kind):
+            return spec
+    raise AssertionError(f"no sampled spec contains {kind!r}")
+
+
+class TestShrink:
+    def test_result_still_fails(self):
+        spec = _spec_with("store")
+        small = shrink(spec, lambda s: _has_kind(s, "store"))
+        assert _has_kind(small, "store")
+
+    def test_result_is_no_larger(self):
+        spec = _spec_with("gather")
+        small = shrink(spec, lambda s: _has_kind(s, "gather"))
+        assert _metric(small) <= _metric(spec)
+        assert small.size() <= spec.size()
+
+    def test_shrinks_to_near_minimal_for_structural_predicates(self):
+        spec = _spec_with("div")
+        small = shrink(spec, lambda s: _has_kind(s, "div"))
+        # One loop, one statement is the true minimum for "contains div".
+        assert small.size() <= 2
+        assert len(small.loops) == 1
+
+    def test_deterministic(self):
+        spec = _spec_with("chase")
+        pred = lambda s: _has_kind(s, "chase")
+        assert shrink(spec, pred) == shrink(spec, pred)
+
+    def test_hammock_arms_are_inlined(self):
+        spec = _spec_with("hammock")
+        # Shrinking "contains a store" through a spec with hammocks must
+        # be able to pull statements out of the arms.
+        if not _has_kind(spec, "store"):
+            return
+        small = shrink(spec, lambda s: _has_kind(s, "store"))
+        assert _has_kind(small, "store")
+
+    def test_never_failing_predicate_returns_input(self):
+        spec = sample_spec(61, 0)
+        assert shrink(spec, lambda s: False) == spec
+
+    def test_eval_budget_respected(self):
+        spec = _spec_with("store")
+        calls = []
+
+        def pred(s):
+            calls.append(1)
+            return _has_kind(s, "store")
+        shrink(spec, pred, max_evals=25)
+        assert len(calls) <= 25
+
+    def test_trip_counts_shrink_too(self):
+        spec = _spec_with("store")
+        small = shrink(spec, lambda s: _has_kind(s, "store"))
+        assert sum(t for t, _ in small.loops) <= \
+            sum(t for t, _ in spec.loops)
+
+    def test_zeroed_init_when_irrelevant(self):
+        spec = _spec_with("stream")
+        small = shrink(spec, lambda s: _has_kind(s, "stream"))
+        # Structural predicates don't depend on init values, so the
+        # shrinker should zero most of them out.
+        assert sum(1 for v in small.init if v == 0) >= \
+            sum(1 for v in spec.init if v == 0)

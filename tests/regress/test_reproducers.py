@@ -1,0 +1,45 @@
+"""Checked-in fuzz finds must stay fixed.
+
+Every ``*.json`` file in this directory is a shrunk reproducer emitted
+by ``repro fuzz shrink``: ``{"name", "divergences", "spec"}`` where
+``name`` seeds the data rng (shrinking preserves it for exactly that
+reason) and ``divergences`` records what the find looked like when it
+was caught.  Each reproducer re-runs the full differential evaluation
+and must come back clean; a reproducer for a bug that is known but not
+yet fixed can opt into xfail via an ``"xfail": "<reason>"`` key.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzCheckSpec, SpecWorkload, evaluate_workload, \
+    spec_from_json
+
+HERE = Path(__file__).parent
+REPRODUCERS = sorted(HERE.glob("*.json"))
+
+
+def _load(path: Path):
+    doc = json.loads(path.read_text())
+    spec = spec_from_json(json.dumps(doc["spec"]))
+    return doc, SpecWorkload(spec, doc["name"])
+
+
+@pytest.mark.parametrize("path", REPRODUCERS,
+                         ids=[p.stem for p in REPRODUCERS])
+def test_reproducer_stays_fixed(path):
+    doc, workload = _load(path)
+    if doc.get("xfail"):
+        pytest.xfail(doc["xfail"])
+    verdict = evaluate_workload(workload, FuzzCheckSpec())
+    assert not verdict.diverged, (
+        f"{path.name} regressed: {verdict.divergences} "
+        f"(originally: {doc['divergences']})")
+    assert verdict.halted
+
+
+def test_reproducers_exist():
+    # The campaign found real bugs; their shrunk kernels live here.
+    assert len(REPRODUCERS) >= 1

@@ -336,3 +336,57 @@ class TestJournalCommand:
 
     def test_unknown_run_prefix(self, capsys):
         assert main(["journal", "show", "zzzzzz"]) == 2
+
+
+class TestFuzz:
+    CAMPAIGN = ["fuzz", "run", "--seed", "71", "--count", "3",
+                "--dials", "mem_words=512;target_instructions=600",
+                "--sweep-every", "0", "--jobs", "1"]
+
+    def test_run_prints_deterministic_triage(self, capsys):
+        assert main(self.CAMPAIGN) == 0
+        first = capsys.readouterr().out
+        assert "fuzz triage — 3 program(s)" in first
+        assert "divergence" in first
+        assert main(self.CAMPAIGN) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_strict_is_clean(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        assert main([*self.CAMPAIGN, "--strict", "-o", str(out)]) == 0
+        capsys.readouterr()
+        import json as _json
+        doc = _json.loads(out.read_text())
+        assert doc["total"] == 3
+        assert doc["counts"]["divergence"] == 0
+
+    def test_triage_emits_json(self, capsys):
+        args = list(self.CAMPAIGN)
+        args[1] = "triage"
+        assert main(args) == 0
+        import json as _json
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["total"] == 3
+
+    def test_show_prints_spec(self, capsys):
+        assert main(["fuzz", "show", "fuzz:v1:71:0"]) == 0
+        out = capsys.readouterr().out
+        assert "statement(s)" in out
+        assert '"version": 1' in out
+
+    def test_show_resolves_promoted_kernels(self, capsys):
+        assert main(["fuzz", "show", "fzsrl"]) == 0
+        assert "3 statement(s)" in capsys.readouterr().out
+
+    def test_shrink_refuses_clean_kernel(self, capsys):
+        assert main(["fuzz", "shrink",
+                     "fuzz:v1:71:0:mem_words=512;target_instructions=600"]
+                    ) == 1
+        assert "nothing to shrink" in capsys.readouterr().err
+
+    def test_shrink_without_target_is_usage_error(self, capsys):
+        assert main(["fuzz", "shrink"]) == 2
+
+    def test_bad_dials_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "run", "--count", "1", "--dials", "warp=9"])
