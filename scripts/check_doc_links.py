@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Usage:
+    python scripts/check_doc_links.py [FILE ...]
+
+With no arguments, checks README.md, ARCHITECTURE.md, ROADMAP.md,
+PAPER.md, EXPERIMENTS.md and every file under docs/.  A link is *dead*
+when its target — resolved relative to the file that contains it, with
+any ``#fragment`` stripped — does not exist on disk.  External links
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
+(``#section``) are not checked.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (one line
+per dead link on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = ["README.md", "ARCHITECTURE.md", "ROADMAP.md", "PAPER.md",
+                 "EXPERIMENTS.md"]
+
+#: Inline markdown links: [text](target).  Images ![alt](target) match
+#: too (the leading ``!`` is simply not part of the group).  Reference
+#: definitions ``[id]: target`` are rare here and intentionally skipped.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks — links inside them are examples, not navigation.
+FENCE = re.compile(r"^(```|~~~)")
+
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(argv: list[str]) -> list[Path]:
+    if argv:
+        return [Path(a) for a in argv]
+    files = [ROOT / f for f in DEFAULT_FILES if (ROOT / f).exists()]
+    files += sorted((ROOT / "docs").glob("*.md"))
+    return files
+
+
+def dead_links(path: Path) -> list[tuple[int, str]]:
+    dead = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            if not (path.parent / rel).exists():
+                dead.append((lineno, target))
+    return dead
+
+
+def main(argv: list[str]) -> int:
+    failures = 0
+    checked = 0
+    for path in doc_files(argv):
+        if not path.exists():
+            print(f"{path}: no such file", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for lineno, target in dead_links(path):
+            rel = path.relative_to(ROOT) if path.is_relative_to(ROOT) else path
+            print(f"{rel}:{lineno}: dead link: {target}", file=sys.stderr)
+            failures += 1
+    print(f"checked {checked} files: "
+          f"{'all links resolve' if not failures else f'{failures} dead'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

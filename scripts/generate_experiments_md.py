@@ -209,6 +209,13 @@ SECTIONS = [
     ("ablation_region_policy", "Ablation — region policy",
      "The paper's future work on region selection: innermost-only vs the "
      "120-d-cycle budget vs growing to the outermost call-free loop."),
+    ("ablation_policy", "Ablation — adaptive trigger policy",
+     "Fixed (the paper's operating point) vs the timeliness-feedback "
+     "adaptive policies of docs/adaptive-policy.md: adaptive-epoch "
+     "converges across repeated runs and by construction never falls "
+     "below fixed; adaptive-phase re-decides inside one run at "
+     "decision-interval boundaries.  The d-* columns are the "
+     "adaptive-epoch fill-timeliness movement vs fixed."),
 ]
 
 

@@ -97,6 +97,15 @@ def _add_backend(p: argparse.ArgumentParser) -> None:
                         "latency sweeps through one functional pass)")
 
 
+def _add_policy(p: argparse.ArgumentParser) -> None:
+    from .policy import POLICIES
+    p.add_argument("--policy", default=None, choices=list(POLICIES),
+                   help="trigger policy (default fixed = the paper's "
+                        "operating point; adaptive-epoch converges across "
+                        "repeated runs, adaptive-phase re-decides at "
+                        "interval boundaries; see docs/adaptive-policy.md)")
+
+
 def _add_cache(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cache-dir", default=None,
                    help="persistent artifact cache location "
@@ -135,7 +144,8 @@ def _runner(args) -> ExperimentRunner:
                                                          False):
         cache = DiskCache(getattr(args, "cache_dir", None))
     return ExperimentRunner(instruction_scale=args.scale, cache=cache,
-                            backend=getattr(args, "backend", None))
+                            backend=getattr(args, "backend", None),
+                            policy=getattr(args, "policy", None))
 
 
 def _jobs(args) -> int:
@@ -160,7 +170,8 @@ def _run_matrix(runner: ExperimentRunner, experiment: str,
     """Fault-tolerant execution of one experiment's cell matrix, journaled
     under the run's content key."""
     cells = cells_for(experiment, workloads,
-                      backend=getattr(args, "backend", None))
+                      backend=getattr(args, "backend", None),
+                      policy=getattr(args, "policy", None))
     journal = RunJournal.for_run(experiment, cells, runner,
                                  root=_journal_dir(args))
     return run_cells(runner, cells, _jobs(args), policy=_policy(args),
@@ -296,6 +307,47 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+#: ``analyze --timeline`` keys with a dedicated rendering (the main
+#: sample table).  Every *other* timeline key renders generically below,
+#: so a new series (e.g. ``policy``) is never silently dropped.
+_TIMELINE_KNOWN = ("interval", "samples")
+
+
+def _series_tables(name: str, series) -> list:
+    """Generic tables for one unrecognised timeline series.
+
+    A flat list of dicts becomes one table whose columns are the union
+    of the row keys in first-seen order.  A list of dicts whose values
+    are themselves series (the ``per_thread`` shape) recurses one level:
+    each nested list renders as its own table, titled with the parent
+    row's scalar fields.  Anything else yields no tables (the caller
+    prints a one-line summary instead)."""
+    from .harness import TextTable
+    if not (isinstance(series, list) and series
+            and all(isinstance(row, dict) for row in series)):
+        return []
+    if any(isinstance(v, list) for row in series for v in row.values()):
+        tables = []
+        for row in series:
+            scalars = ", ".join(
+                f"{k}={v}" for k, v in row.items()
+                if not isinstance(v, (list, dict)))
+            for key, value in row.items():
+                if isinstance(value, list):
+                    tables.extend(
+                        _series_tables(f"{name}[{scalars}].{key}", value))
+        return tables
+    columns: list[str] = []
+    for row in series:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    t = TextTable(f"timeline series {name!r}", columns)
+    for row in series:
+        t.add_row(*(row.get(c, "") for c in columns))
+    return [t]
+
+
 def _analyze_timeline(args) -> int:
     """``analyze --timeline``: traced interval series + fill timeliness."""
     from .harness import TextTable
@@ -325,6 +377,17 @@ def _analyze_timeline(args) -> int:
     t.add_footer(f"events: {traced.emitted} emitted, "
                  f"{traced.dropped} dropped by the ring buffer")
     print(t.render())
+    for name in tl:
+        if name in _TIMELINE_KNOWN:
+            continue
+        tables = _series_tables(name, tl[name])
+        if tables:
+            for table in tables:
+                print()
+                print(table.render())
+        else:
+            print()
+            print(f"timeline series {name!r}: {tl[name]!r}")
     return 0
 
 
@@ -503,6 +566,49 @@ def cmd_table(args) -> int:
     keep = _surviving_workloads("table3", workloads, report)
     if keep:
         print(table3(runner, keep).render())
+    else:
+        print("no workload completed; nothing to render", file=sys.stderr)
+    print()
+    print(report.render())
+    return 0 if report.completed else 1
+
+
+def cmd_ablate_policy(args) -> int:
+    """``repro ablate-policy``: fixed vs adaptive trigger-policy table.
+
+    The cell matrix (baseline + one cell per workload × policy) runs
+    through the fault-tolerant parallel engine; table assembly then
+    reads the seeded memo and simulates nothing, so output is
+    byte-identical across job counts.
+    """
+    from .harness import (ablate_policy, ablate_policy_cells,
+                          policy_ablation_workloads)
+    from .policy import POLICIES
+    runner = _runner(args)
+    workloads = args.workloads or policy_ablation_workloads()
+    policies = tuple(args.policies) if args.policies else (
+        "fixed", "adaptive-epoch", "adaptive-phase")
+    bad_policies = sorted(set(policies) - set(POLICIES))
+    if bad_policies:
+        print(f"unknown polic{'ies' if len(bad_policies) > 1 else 'y'} "
+              f"{', '.join(bad_policies)}; known: {', '.join(POLICIES)}",
+              file=sys.stderr)
+        return 2
+    cells = ablate_policy_cells(workloads, policies=policies,
+                                backend=getattr(args, "backend", None))
+    journal = RunJournal.for_run("ablate-policy", cells, runner,
+                                 root=_journal_dir(args))
+    try:
+        report = run_cells(runner, cells, _jobs(args), policy=_policy(args),
+                           journal=journal,
+                           resume=getattr(args, "resume", False))
+    except FatalCellError as exc:
+        return _fatal(exc)
+    bad = {f.cell.workload for f in report.failures}
+    keep = [w for w in workloads if w not in bad]
+    if keep:
+        print(ablate_policy(runner, workloads=keep,
+                            policies=policies).table().render())
     else:
         print("no workload completed; nothing to render", file=sys.stderr)
     print()
@@ -944,12 +1050,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine model (default SPEAR-128)")
     _add_scale(p)
     _add_backend(p)
+    _add_policy(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("compare", help="baseline vs all SPEAR models")
     p.add_argument("workload")
     _add_scale(p)
     _add_backend(p)
+    _add_policy(p)
     _add_perf(p)
     p.set_defaults(fn=cmd_compare)
 
@@ -965,6 +1073,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 1000)")
     _add_scale(p)
     _add_backend(p)
+    _add_policy(p)
     _add_cache(p)
     p.set_defaults(fn=cmd_analyze)
 
@@ -994,6 +1103,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "only --kinds applies)")
     _add_scale(p)
     _add_backend(p)
+    _add_policy(p)
     _add_cache(p)
     p.set_defaults(fn=cmd_trace)
 
@@ -1022,6 +1132,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(diff panels, or the suite grid with --suite)")
     _add_scale(p)
     _add_backend(p)
+    _add_policy(p)
     _add_perf(p)
     p.set_defaults(fn=cmd_report)
 
@@ -1030,8 +1141,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workloads", nargs="*")
     _add_scale(p)
     _add_backend(p)
+    _add_policy(p)
     _add_perf(p)
     p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser(
+        "ablate-policy",
+        help="fixed vs adaptive trigger-policy ablation table")
+    p.add_argument("workloads", nargs="*",
+                   help="workload subset (default: the 15 evaluated "
+                        "benchmarks plus the promoted fz* fuzz finds)")
+    p.add_argument("--policies", nargs="*", default=None,
+                   metavar="POLICY",
+                   help="policy columns (default: fixed adaptive-epoch "
+                        "adaptive-phase)")
+    _add_scale(p)
+    _add_backend(p)
+    _add_perf(p)
+    p.set_defaults(fn=cmd_ablate_policy)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int)

@@ -88,7 +88,14 @@ class MachineConfig:
     spear_enabled: bool = False
     separate_fu: bool = False
     pthread_ruu_size: int = 64
-    #: Fraction of the IFQ that must be occupied for a trigger (paper: half).
+    #: Fraction of the IFQ that must be occupied for a trigger (paper:
+    #: half).  This is the *configured* operating point: under the
+    #: default ``fixed`` trigger policy it holds for the whole run, but
+    #: an adaptive policy (``--policy adaptive-epoch``/``adaptive-phase``)
+    #: may override the live value the simulator consults — between runs
+    #: (epoch) or at decision-interval boundaries inside one run (phase)
+    #: — walking the documented level ladder.  The config itself is
+    #: never mutated.  See docs/adaptive-policy.md.
     trigger_occupancy_fraction: float = 0.5
     #: Max p-thread instructions extracted per cycle (paper: issue_width/2).
     extract_width: int = 4
@@ -108,6 +115,10 @@ class MachineConfig:
     #: work): when a pre-execution mode ends, a dormant marked d-load may
     #: re-trigger immediately regardless of IFQ occupancy, letting one
     #: p-thread effectively spawn the next.  Off in the paper's SPEAR.
+    #: Like ``trigger_occupancy_fraction`` this is a policy-controlled
+    #: knob: the upper rungs of the adaptive level ladder switch the live
+    #: value on when fills run persistently late (the config itself is
+    #: never mutated).  See docs/adaptive-policy.md.
     chaining: bool = False
     # Safety ----------------------------------------------------------------
     max_cycles: int = 200_000_000

@@ -5,14 +5,16 @@ fault injection and the phase-timing bench."""
 from .bench import render_report, run_bench
 from .diskcache import (CACHE_DIR_ENV, SCHEMA_VERSION, DiskCache,
                         default_cache_dir, parse_bytes)
-from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, IRREGULAR_WORKLOADS,
-                          LatencySweepResult, MissReductionResult,
+from .experiments import (EVAL_WORKLOADS, FIG9_WORKLOADS, FUZZ_WORKLOADS,
+                          IRREGULAR_WORKLOADS, LatencySweepResult,
+                          MissReductionResult, PolicyAblationResult,
                           REGULAR_WORKLOADS, SpeedupResult, TimelinessResult,
-                          build_report, build_suite_report, diff_table,
-                          figure6, figure7, figure8, figure9, motivation,
-                          per_thread_table, report_trace_spec, suite_diff,
-                          suite_table, table1, table2, table3, timeline_diff,
-                          timeliness)
+                          ablate_policy, ablate_policy_cells, build_report,
+                          build_suite_report, diff_table, figure6, figure7,
+                          figure8, figure9, motivation, per_thread_table,
+                          policy_ablation_workloads, report_trace_spec,
+                          suite_diff, suite_table, table1, table2, table3,
+                          timeline_diff, timeliness)
 from .faults import (FAULTS_ENV, FaultClause, FaultSpecError, InjectedCrash,
                      InjectedFault, active_faults, parse_faults,
                      render_faults)
@@ -32,6 +34,8 @@ __all__ = ["EVAL_WORKLOADS", "FIG9_WORKLOADS", "IRREGULAR_WORKLOADS",
            "MissReductionResult", "SpeedupResult", "figure6", "figure7",
            "figure8", "figure9", "table1", "table2", "table3",
            "timeliness", "TimelinessResult", "timeline_diff", "diff_table",
+           "FUZZ_WORKLOADS", "PolicyAblationResult", "ablate_policy",
+           "ablate_policy_cells", "policy_ablation_workloads",
            "per_thread_table", "build_report", "build_suite_report",
            "report_trace_spec", "suite_diff", "suite_table",
            "ExperimentRunner", "SWEEP_BACKEND", "TracedRun", "TraceSpec",

@@ -82,6 +82,7 @@ def cell_key(runner, cell) -> str:
     spec = getattr(cell, "trace", None)
     backend = getattr(cell, "backend", None)
     fuzz = getattr(cell, "fuzz", None)
+    policy = getattr(cell, "policy", None)
     if fuzz is not None:
         kind = "fuzz"
         payload = runner.fuzz_payload(cell.workload, fuzz)
@@ -93,17 +94,18 @@ def cell_key(runner, cell) -> str:
         payload = {"sweep": [
             runner.result_payload(
                 cell.workload, runner.normalize_config(cell.config, lat),
-                backend)
+                backend, policy)
             for lat in cell.latencies]}
     else:
         config = runner.normalize_config(cell.config, cell.latencies)
         if spec is not None:
             kind = "traces"
             payload = runner.traced_payload(cell.workload, config, spec,
-                                            backend)
+                                            backend, policy)
         else:
             kind = "results"
-            payload = runner.result_payload(cell.workload, config, backend)
+            payload = runner.result_payload(cell.workload, config, backend,
+                                            policy)
     if getattr(runner, "cache", None) is not None:
         return runner.cache.key_for(kind, payload)
     return content_key({"schema": SCHEMA_VERSION, "kind": kind, **payload})

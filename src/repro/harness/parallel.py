@@ -91,6 +91,9 @@ class Cell:
     trace: TraceSpec | None = None
     backend: str | None = None
     fuzz: object | None = None
+    #: trigger policy name (``None`` defers to the executing runner's
+    #: default; see :data:`~repro.policy.POLICIES`)
+    policy: str | None = None
 
     @property
     def is_sweep(self) -> bool:
@@ -151,7 +154,8 @@ def default_workloads(experiment: str) -> list[str]:
 
 def cells_for(experiment: str,
               workloads: list[str] | None = None,
-              backend: str | None = None) -> list[Cell]:
+              backend: str | None = None,
+              policy: str | None = None) -> list[Cell]:
     """Enumerate the cell matrix of one experiment, workload-major (so
     chunked submission keeps one workload's artifacts in one worker)."""
     configs = EXPERIMENT_CONFIGS[experiment]
@@ -160,18 +164,21 @@ def cells_for(experiment: str,
         if backend == SWEEP_BACKEND:
             # One batched-sweep cell per matrix row: the worker pays the
             # trace/flag/warmup fixed costs once for all latency points.
-            return [Cell(n, c, tuple(FIG9_LATENCIES), backend=backend)
+            return [Cell(n, c, tuple(FIG9_LATENCIES), backend=backend,
+                         policy=policy)
                     for n in names for c in configs]
-        return [Cell(n, c, lat, backend=backend)
+        return [Cell(n, c, lat, backend=backend, policy=policy)
                 for n in names for lat in FIG9_LATENCIES for c in configs]
-    return [Cell(n, c, backend=backend) for n in names for c in configs]
+    return [Cell(n, c, backend=backend, policy=policy)
+            for n in names for c in configs]
 
 
 def report_cells(workloads: list[str], configs: list[MachineConfig],
-                 spec: TraceSpec, backend: str | None = None) -> list[Cell]:
+                 spec: TraceSpec, backend: str | None = None,
+                 policy: str | None = None) -> list[Cell]:
     """Enumerate the traced-cell matrix of a (suite) report: every
     workload under every config, all captured under one trace spec."""
-    return [Cell(n, c, trace=spec, backend=backend)
+    return [Cell(n, c, trace=spec, backend=backend, policy=policy)
             for n in workloads for c in configs]
 
 
@@ -309,7 +316,8 @@ _WORKER_RUNNER: ExperimentRunner | None = None
 
 def _init_worker(slicer_config: SlicerConfig, scale: float,
                  cache_dir: str | None,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 policy: str | None = None) -> None:
     global _WORKER_RUNNER
     faults.mark_worker()
     # Forked workers inherit the parent's signal wiring.  Under the
@@ -338,7 +346,7 @@ def _init_worker(slicer_config: SlicerConfig, scale: float,
              if cache_dir is not None else None)
     _WORKER_RUNNER = ExperimentRunner(slicer_config=slicer_config,
                                       instruction_scale=scale, cache=cache,
-                                      backend=backend)
+                                      backend=backend, policy=policy)
 
 
 def compute_cell(runner: ExperimentRunner, cell: Cell, *,
@@ -352,12 +360,13 @@ def compute_cell(runner: ExperimentRunner, cell: Cell, *,
         return runner.run_fuzz(cell.workload, cell.fuzz)
     if cell.is_sweep:
         return runner.run_sweep(cell.workload, cell.config,
-                                list(cell.latencies))
+                                list(cell.latencies), policy=cell.policy)
     if cell.trace is None:
         return runner.run(cell.workload, cell.config, cell.latencies,
-                          backend=cell.backend)
+                          backend=cell.backend, policy=cell.policy)
     traced = runner.run_traced(cell.workload, cell.config, cell.latencies,
-                               spec=cell.trace, backend=cell.backend)
+                               spec=cell.trace, backend=cell.backend,
+                               policy=cell.policy)
     return _spill(runner, cell, traced) if spill else traced
 
 
@@ -378,7 +387,7 @@ def _spill(runner: ExperimentRunner, cell: Cell, traced: TracedRun):
         return traced
     config = runner.normalize_config(cell.config, cell.latencies)
     payload = runner.traced_payload(cell.workload, config, cell.trace,
-                                    cell.backend)
+                                    cell.backend, cell.policy)
     key = runner.cache.key_for("traces", payload)
     return PayloadRef("traces", key, runner.cache.entry_size("traces", key))
 
@@ -456,15 +465,15 @@ def run_cells(runner: ExperimentRunner, cells: list[Cell],
                 elif cell.trace is not None:
                     runner.seed_traced(cell.workload, cell.config,
                                        cell.latencies, cell.trace, results[i],
-                                       cell.backend)
+                                       cell.backend, cell.policy)
                 elif cell.is_sweep:
                     for lat, res in zip(cell.latencies, results[i]):
                         runner.seed_result(cell.workload, cell.config, lat,
-                                           res, cell.backend)
+                                           res, cell.backend, cell.policy)
                 else:
                     runner.seed_result(cell.workload, cell.config,
                                        cell.latencies, results[i],
-                                       cell.backend)
+                                       cell.backend, cell.policy)
         report.wall_time = time.monotonic() - started
         if runner.cache is not None:
             report.cache_stats = runner.cache.stats()
@@ -502,12 +511,13 @@ def _memoized(runner: ExperimentRunner, cell: Cell) -> bool:
         return runner.has_fuzz(cell.workload, cell.fuzz)
     if cell.trace is not None:
         return runner.has_traced(cell.workload, cell.config, cell.latencies,
-                                 cell.trace, cell.backend)
+                                 cell.trace, cell.backend, cell.policy)
     if cell.is_sweep:
         return all(runner.has_result(cell.workload, cell.config, lat,
-                                     cell.backend) for lat in cell.latencies)
+                                     cell.backend, cell.policy)
+                   for lat in cell.latencies)
     return runner.has_result(cell.workload, cell.config, cell.latencies,
-                             cell.backend)
+                             cell.backend, cell.policy)
 
 
 def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
@@ -534,7 +544,7 @@ def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
                     "results", runner.result_payload(
                         cell.workload,
                         runner.normalize_config(cell.config, lat),
-                        cell.backend))
+                        cell.backend, cell.policy))
                     for lat in cell.latencies]
                 restored = points if all(p is not None for p in points) \
                     else None   # any evicted point: recompute the sweep
@@ -543,25 +553,27 @@ def _restore_resumed(runner: ExperimentRunner, unique: list[Cell],
                 restored = runner.cache.get(
                     "traces",
                     runner.traced_payload(cell.workload, config, cell.trace,
-                                          cell.backend))
+                                          cell.backend, cell.policy))
             else:
                 config = runner.normalize_config(cell.config, cell.latencies)
                 restored = runner.cache.get(
                     "results", runner.result_payload(cell.workload, config,
-                                                     cell.backend))
+                                                     cell.backend,
+                                                     cell.policy))
         if restored is not None:
             if cell.fuzz is not None:
                 runner.seed_fuzz(cell.workload, cell.fuzz, restored)
             elif cell.trace is not None:
                 runner.seed_traced(cell.workload, cell.config, cell.latencies,
-                                   cell.trace, restored, cell.backend)
+                                   cell.trace, restored, cell.backend,
+                                   cell.policy)
             elif cell.is_sweep:
                 for lat, res in zip(cell.latencies, restored):
                     runner.seed_result(cell.workload, cell.config, lat, res,
-                                       cell.backend)
+                                       cell.backend, cell.policy)
             else:
                 runner.seed_result(cell.workload, cell.config, cell.latencies,
-                                   restored, cell.backend)
+                                   restored, cell.backend, cell.policy)
             report.resumed += 1
         else:
             remaining.append(cell)
@@ -584,7 +596,7 @@ def _register_ok(runner, cell: Cell, i: int, attempts_used: int,
             key = runner.cache.key_for(
                 "traces",
                 runner.traced_payload(cell.workload, config, cell.trace,
-                                      cell.backend))
+                                      cell.backend, cell.policy))
             ref = f"traces/{key}"
             size = runner.cache.entry_size("traces", key)
         journal.record_cell(index=i, key=cell_key(runner, cell),
@@ -832,4 +844,4 @@ def _pool(runner: ExperimentRunner, workers: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker,
         initargs=(runner.slicer_config, runner.instruction_scale, cache_dir,
-                  runner.backend))
+                  runner.backend, runner.policy))

@@ -33,6 +33,7 @@ from ..pipeline.fastforward import FastForwardSimulator
 from ..pipeline.kernel import DEFAULT_BACKEND, make_simulator, resolve_kernel
 from ..pipeline.stats import PipelineResult
 from ..pipeline.sweep import BatchedSweepSimulator
+from ..policy import DEFAULT_POLICY, make_policy, resolve_policy
 from ..workloads.base import Workload, get_workload
 from .diskcache import DiskCache
 
@@ -100,17 +101,21 @@ class ExperimentRunner:
     def __init__(self, *, slicer_config: SlicerConfig | None = None,
                  instruction_scale: float = 1.0,
                  cache: DiskCache | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None,
+                 policy: str | None = None):
         """``instruction_scale`` scales every workload's instruction budget
         (useful to shrink CI runs or enlarge final ones).  ``cache`` is an
         optional persistent artifact cache shared across processes.
         ``backend`` selects the timing kernel every simulation runs on
         (any :data:`~repro.pipeline.kernel.KERNELS` name, or ``"batched"``
-        to additionally batch latency sweeps); per-call overrides win."""
+        to additionally batch latency sweeps); per-call overrides win.
+        ``policy`` selects the trigger policy (any
+        :data:`~repro.policy.POLICIES` name) the same way."""
         self.slicer_config = slicer_config or SlicerConfig()
         self.instruction_scale = instruction_scale
         self.cache = cache
         self.backend = DEFAULT_BACKEND if backend is None else backend
+        self.policy = resolve_policy(policy)   # fail fast on unknown names
         if self.backend != SWEEP_BACKEND:
             resolve_kernel(self.backend)   # fail fast on unknown names
         self._artifacts: dict[str, WorkloadArtifacts] = {}
@@ -141,31 +146,53 @@ class ExperimentRunner:
             return FastForwardSimulator.backend
         return backend
 
+    def effective_policy(self, policy: str | None,
+                         config: MachineConfig) -> str:
+        """The policy name a (request, config) pair actually runs under.
+
+        ``None`` defers to the runner default.  Baseline (non-SPEAR)
+        configs have no trigger to steer, so they always resolve to the
+        fixed policy — which keeps their memo/cache keys, results and
+        traces byte-identical whatever policy the caller requested.
+        """
+        name = resolve_policy(self.policy if policy is None else policy)
+        if not config.spear_enabled:
+            return DEFAULT_POLICY
+        return name
+
     def _artifact_payload(self, name: str) -> dict:
         return {"workload": name,
                 "scale": self.instruction_scale,
                 "slicer": asdict(self.slicer_config)}
 
     def result_payload(self, name: str, config: MachineConfig,
-                       backend: str | None = None) -> dict:
+                       backend: str | None = None,
+                       policy: str | None = None) -> dict:
         """Cache/journal key payload of one (workload, config) result.
 
         Non-reference backends are tagged into the payload; the reference
         kernel keeps the untagged (pre-backend) key, so existing caches
-        stay valid and cross-backend entries can never collide.
+        stay valid and cross-backend entries can never collide.  The same
+        rule covers policies: only a non-fixed *effective* policy is
+        tagged, so fixed-policy keys are byte-identical to pre-policy
+        ones and adaptive entries can never collide with them.
         """
         payload = self._artifact_payload(name)
         payload["config"] = asdict(config)
         kernel = self._kernel(backend)
         if kernel != DEFAULT_BACKEND:
             payload["backend"] = kernel
+        pol = self.effective_policy(policy, config)
+        if pol != DEFAULT_POLICY:
+            payload["policy"] = pol
         return payload
 
     def traced_payload(self, name: str, config: MachineConfig,
-                       spec: TraceSpec, backend: str | None = None) -> dict:
+                       spec: TraceSpec, backend: str | None = None,
+                       policy: str | None = None) -> dict:
         """Cache/journal key payload of one traced cell — the result key
         plus the trace parameters, under the ``"traces"`` kind."""
-        payload = self.result_payload(name, config, backend)
+        payload = self.result_payload(name, config, backend, policy)
         payload["trace"] = spec.payload()
         return payload
 
@@ -227,10 +254,19 @@ class ExperimentRunner:
 
     def run(self, name: str, config: MachineConfig,
             latencies: LatencyConfig | None = None, *,
-            backend: str | None = None) -> PipelineResult:
-        """Simulate one workload under one machine configuration."""
+            backend: str | None = None,
+            policy: str | None = None) -> PipelineResult:
+        """Simulate one workload under one machine configuration.
+
+        A non-fixed effective ``policy`` takes the adaptive path (its own
+        4-tuple memo key and policy-tagged cache payload); the fixed
+        policy is this exact pre-policy code path, unchanged.
+        """
         config = self.normalize_config(config, latencies)
         kernel = self._kernel(backend)
+        pol = self.effective_policy(policy, config)
+        if pol != DEFAULT_POLICY:
+            return self._run_adaptive(name, config, kernel, pol)
         key = (name, config, kernel)
         result = self._results.get(key)
         if result is None:
@@ -252,9 +288,48 @@ class ExperimentRunner:
             self._results[key] = result
         return result
 
+    def _run_adaptive(self, name: str, config: MachineConfig, kernel: str,
+                      pol: str) -> PipelineResult:
+        """One cell under a non-fixed policy.
+
+        ``adaptive-epoch`` converges through plain fixed runs (each one
+        memoized under its ordinary key, so epochs are shared with — and
+        epoch 0 *is* — the fixed result); ``adaptive-phase`` attaches a
+        fresh in-run controller.  Either way the outcome memoizes under a
+        ``(name, config, kernel, policy)`` 4-tuple — a different tuple
+        length than fixed keys, so the two can never collide.
+        """
+        key = (name, config, kernel, pol)
+        result = self._results.get(key)
+        if result is None:
+            payload = self.result_payload(name, config, kernel, pol)
+            if self.cache is not None:
+                result = self.cache.get("results", payload)
+            if result is None:
+                policy_obj = make_policy(pol)
+                converged = policy_obj.converge(
+                    lambda cfg: self.run(name, cfg, backend=kernel,
+                                         policy=DEFAULT_POLICY), config)
+                if converged is not None:
+                    result, _ = converged
+                else:
+                    art = self.artifacts(name)
+                    memory = MemoryHierarchy(latencies=config.latencies)
+                    sim = make_simulator(
+                        kernel, art.eval_trace, config, art.binary.table,
+                        memory, warmup=art.warmup_trace,
+                        policy=policy_obj.make_controller(config))
+                    result = sim.run()
+                    self.simulations += 1
+                if self.cache is not None:
+                    self.cache.put("results", payload, result)
+            self._results[key] = result
+        return result
+
     def run_sweep(self, name: str, config: MachineConfig,
                   latencies: list[LatencyConfig] | None = None, *,
-                  kernel: str | None = None) -> list[PipelineResult]:
+                  kernel: str | None = None,
+                  policy: str | None = None) -> list[PipelineResult]:
         """Simulate one workload across a memory-latency sweep, batched.
 
         All points missing from the memo and disk cache go through one
@@ -268,6 +343,13 @@ class ExperimentRunner:
         if latencies is None:
             latencies = list(FIG9_LATENCIES)
         kernel = self._kernel(SWEEP_BACKEND if kernel is None else kernel)
+        if self.effective_policy(policy, config) != DEFAULT_POLICY:
+            # A batched sweep shares one compile/trace pass across points
+            # but cannot thread per-point epoch loops or controllers, so
+            # adaptive sweeps degrade to independent per-point runs —
+            # same results, one trace walk per point instead of one total.
+            return [self.run(name, config, lat, backend=kernel,
+                             policy=policy) for lat in latencies]
         keys, missing = [], []
         for lat in latencies:
             cfg = self.normalize_config(config, lat)
@@ -304,7 +386,8 @@ class ExperimentRunner:
                    interval: int = 1000, capacity: int | None = 65536,
                    kinds: tuple[str, ...] | None = None,
                    spec: TraceSpec | None = None,
-                   backend: str | None = None) -> TracedRun:
+                   backend: str | None = None,
+                   policy: str | None = None) -> TracedRun:
         """Simulate one cell with tracing and interval sampling attached.
 
         Traced runs are cached under their own kind ("traces") with the
@@ -313,29 +396,57 @@ class ExperimentRunner:
         and parallel engine consume.  ``spec`` bundles the trace
         parameters (the parallel engine ships it on the cell); when given
         it overrides the individual keyword arguments.
+
+        Policies follow the same rules as :meth:`run`: ``adaptive-phase``
+        attaches its controller to the traced simulation (so
+        ``policy-decision`` events land in the stream and the decision
+        series in the timeline); ``adaptive-epoch`` first converges
+        through plain runs, then traces one run at the converged
+        operating point — in-run decision events only ever appear under
+        ``adaptive-phase``.
         """
         if spec is None:
             spec = TraceSpec(interval, capacity,
                              tuple(kinds) if kinds is not None else None)
         config = self.normalize_config(config, latencies)
         kernel = self._kernel(backend)
-        key = (name, config, spec, kernel)
+        pol = self.effective_policy(policy, config)
+        key = ((name, config, spec, kernel) if pol == DEFAULT_POLICY
+               else (name, config, spec, kernel, pol))
         traced = self._traced.get(key)
         if traced is None:
-            payload = self.traced_payload(name, config, spec, kernel)
+            payload = self.traced_payload(name, config, spec, kernel, pol)
             if self.cache is not None:
                 traced = self.cache.get("traces", payload)
             if traced is None:
+                import dataclasses
+                run_cfg, controller, epoch_summary = config, None, None
+                if pol != DEFAULT_POLICY:
+                    policy_obj = make_policy(pol)
+                    controller = policy_obj.make_controller(config)
+                    if controller is None:
+                        # Epoch mode: trace the converged operating point.
+                        converged = self.run(name, config, backend=kernel,
+                                             policy=pol)
+                        epoch_summary = converged.policy
+                        run_cfg = dataclasses.replace(
+                            config,
+                            trigger_occupancy_fraction=epoch_summary[
+                                "final_fraction"],
+                            chaining=epoch_summary["final_chaining"])
                 art = self.artifacts(name)
                 sink = RingBufferSink(spec.capacity, kinds=spec.kinds)
                 sampler = IntervalSampler(spec.interval)
-                memory = MemoryHierarchy(latencies=config.latencies)
-                sim = make_simulator(kernel, art.eval_trace, config,
+                memory = MemoryHierarchy(latencies=run_cfg.latencies)
+                sim = make_simulator(kernel, art.eval_trace, run_cfg,
                                      art.binary.table, memory,
                                      warmup=art.warmup_trace,
-                                     tracer=sink, sampler=sampler)
+                                     tracer=sink, sampler=sampler,
+                                     policy=controller)
                 result = sim.run()
                 self.simulations += 1
+                if epoch_summary is not None:
+                    result = dataclasses.replace(result, policy=epoch_summary)
                 traced = TracedRun(result, sink.events(), sink.emitted,
                                    sink.dropped)
                 if self.cache is not None:
@@ -408,36 +519,65 @@ class ExperimentRunner:
         """Whether the memo already holds this fuzz cell's verdict."""
         return (name, check) in self._fuzz
 
+    def _result_key(self, name: str, config: MachineConfig,
+                    latencies: LatencyConfig | None,
+                    backend: str | None, policy: str | None) -> tuple:
+        """The memo key :meth:`run` uses — fixed keys keep the pre-policy
+        3-tuple shape, adaptive keys append the policy name (a 4-tuple),
+        so the two populations can never collide."""
+        config = self.normalize_config(config, latencies)
+        kernel = self._kernel(backend)
+        pol = self.effective_policy(policy, config)
+        if pol == DEFAULT_POLICY:
+            return (name, config, kernel)
+        return (name, config, kernel, pol)
+
     def seed_result(self, name: str, config: MachineConfig,
                     latencies: LatencyConfig | None,
                     result: PipelineResult,
-                    backend: str | None = None) -> None:
+                    backend: str | None = None,
+                    policy: str | None = None) -> None:
         """Adopt a result computed elsewhere (the parallel engine's merge)."""
-        config = self.normalize_config(config, latencies)
-        self._results[(name, config, self._kernel(backend))] = result
+        self._results[self._result_key(name, config, latencies, backend,
+                                       policy)] = result
 
     def has_result(self, name: str, config: MachineConfig,
                    latencies: LatencyConfig | None = None,
-                   backend: str | None = None) -> bool:
+                   backend: str | None = None,
+                   policy: str | None = None) -> bool:
         """Whether the memo already holds this cell's result — the one
         blessed membership check (parallel engine, journal resume)."""
-        return (name, self.normalize_config(config, latencies),
-                self._kernel(backend)) in self._results
+        return self._result_key(name, config, latencies, backend,
+                                policy) in self._results
+
+    def _traced_key(self, name: str, config: MachineConfig,
+                    latencies: LatencyConfig | None, spec: TraceSpec,
+                    backend: str | None, policy: str | None) -> tuple:
+        """The memo key :meth:`run_traced` uses (same shape rule as
+        :meth:`_result_key`)."""
+        config = self.normalize_config(config, latencies)
+        kernel = self._kernel(backend)
+        pol = self.effective_policy(policy, config)
+        if pol == DEFAULT_POLICY:
+            return (name, config, spec, kernel)
+        return (name, config, spec, kernel, pol)
 
     def seed_traced(self, name: str, config: MachineConfig,
                     latencies: LatencyConfig | None, spec: TraceSpec,
-                    traced: TracedRun, backend: str | None = None) -> None:
+                    traced: TracedRun, backend: str | None = None,
+                    policy: str | None = None) -> None:
         """Adopt a traced run computed elsewhere (the parallel engine's
         merge resolves the spilled cache entry, then seeds it here)."""
-        config = self.normalize_config(config, latencies)
-        self._traced[(name, config, spec, self._kernel(backend))] = traced
+        self._traced[self._traced_key(name, config, latencies, spec,
+                                      backend, policy)] = traced
 
     def has_traced(self, name: str, config: MachineConfig,
                    latencies: LatencyConfig | None, spec: TraceSpec,
-                   backend: str | None = None) -> bool:
+                   backend: str | None = None,
+                   policy: str | None = None) -> bool:
         """Whether the memo already holds this traced cell."""
-        config = self.normalize_config(config, latencies)
-        return (name, config, spec, self._kernel(backend)) in self._traced
+        return self._traced_key(name, config, latencies, spec, backend,
+                                policy) in self._traced
 
     def has_artifact(self, name: str) -> bool:
         """Whether ``name``'s artifacts are already memoized in-process."""

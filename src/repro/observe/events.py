@@ -30,9 +30,10 @@ MODE = "mode"            #: SPEAR pre-execution mode transition
 EXTRACT = "extract"      #: PE copied a marked IFQ entry into the p-thread
 PREFETCH = "prefetch"    #: hardware prefetcher proposed a target
 FILL = "fill"            #: a prefetch actually started an L1 fill
+POLICY = "policy-decision"  #: adaptive trigger policy changed/held course
 
 EVENT_KINDS = (FETCH, DECODE, ISSUE, COMPLETE, COMMIT, MISPREDICT, MODE,
-               EXTRACT, PREFETCH, FILL)
+               EXTRACT, PREFETCH, FILL, POLICY)
 
 #: SPEAR mode names, indexed by the timing model's internal state codes.
 MODE_NAMES = ("IDLE", "DRAIN", "COPY", "ACTIVE")

@@ -98,7 +98,8 @@ class TimingSimulator:
                  warmup: Trace | list | None = None,
                  tracer: TraceSink | None = None,
                  sampler: IntervalSampler | None = None,
-                 predictor=None, flags: tuple | None = None):
+                 predictor=None, flags: tuple | None = None,
+                 policy=None):
         self.trace = trace
         self.config = config
         #: observability hooks — every emit site checks ``is not None``
@@ -179,8 +180,18 @@ class TimingSimulator:
         self._issued_by_thread = [0, 0]
 
         #: ``MachineConfig.trigger_occupancy`` is a derived property; it is
-        #: consulted on every fetch group, so compute it once.
+        #: consulted on every fetch group, so compute it once.  Both it and
+        #: the chaining shadow below are the *live* operating point: fixed
+        #: for the config's lifetime under the fixed policy, mutated at
+        #: decision boundaries by an attached phase controller.
         self._trigger_occ = config.trigger_occupancy
+        self._chaining = config.chaining
+        #: optional in-run trigger-policy controller (adaptive-phase);
+        #: ``None`` is the fixed policy and costs one predictable branch
+        #: per decision-interval check in the run loop.
+        self._policy = policy
+        if policy is not None:
+            policy.attach(self)
 
         # Trace-derived vectors, computed once per run instead of touching
         # TraceEntry attributes and pc sets per fetched instruction.
@@ -271,8 +282,11 @@ class TimingSimulator:
         ifq_size = ifq.size
         marked_queue = ifq.marked_queue
         spear = cfg.spear_enabled
-        chaining = cfg.chaining
+        chaining = self._chaining
         trigger_occ = self._trigger_occ
+        policy = self._policy
+        policy_on = policy is not None
+        policy_interval = policy.interval if policy_on else 0
         entries = self._entries
         marked_flags = self._marked_flags
         dload_flags = self._dload_flags
@@ -467,6 +481,16 @@ class TimingSimulator:
             if self._mode != _IDLE:
                 mode_cycles += 1
             self._cycle = cycle + 1
+            if policy_on and (cycle + 1) % policy_interval == 0:
+                # Decision boundary: the controller may move the live
+                # operating point, so the hoisted locals must refresh.
+                # Keyed on the cycle number alone (like the sampler), so
+                # any split of the run into _run_loop calls — steps,
+                # fast-forward jumps clamped to the boundary — produces
+                # the identical decision sequence.
+                if policy.tick(self, cycle + 1):
+                    trigger_occ = self._trigger_occ
+                    chaining = self._chaining
             if sampling and (cycle + 1) % sample_interval == 0:
                 sampler.take(cycle + 1, self._committed, ifq_occ_sum,
                              ruu_occ_sum, mode_cycles, main_ts.accesses,
@@ -497,6 +521,14 @@ class TimingSimulator:
                          per_thread=self._thread_counters())
         stats.cycles = self._cycle
         stats.committed = self._committed
+        timeline = sampler.timeline() if sampler is not None else None
+        policy = self._policy
+        if policy is not None and timeline is not None:
+            # Attach the decision series so policy moves are attributable
+            # against the sampled phases (rendered generically by
+            # ``repro analyze --timeline``).
+            timeline = dict(timeline)
+            timeline["policy"] = policy.series()
         return PipelineResult(
             config_name=self.config.name,
             stats=stats,
@@ -505,7 +537,8 @@ class TimingSimulator:
                        "lookups": self.predictor.stats.lookups},
             prefetcher=self.prefetcher.stats.snapshot(),
             workload=self.trace.program_name,
-            timeline=sampler.timeline() if sampler is not None else None)
+            timeline=timeline,
+            policy=policy.summary() if policy is not None else None)
 
     def _fast_forward(self, cycle: int, stop: int, ifq_occ_sum: int,
                       ruu_occ_sum: int, mode_cycles: int
@@ -694,8 +727,10 @@ class TimingSimulator:
 
         With chaining triggers enabled the occupancy requirement is waived:
         a completed p-thread hands off to the next dormant d-load directly,
-        the Collins-style chaining the paper's related work describes."""
-        if (not self.config.chaining
+        the Collins-style chaining the paper's related work describes.
+        ``_chaining`` is the live operating point (an adaptive-phase
+        controller may flip it mid-run), not the config constant."""
+        if (not self._chaining
                 and self.ifq.occupancy < self._trigger_occ):
             return
         self.ifq.prune_marked()
@@ -954,13 +989,15 @@ def simulate(trace: Trace, config: MachineConfig,
              memory: MemoryHierarchy | None = None,
              tracer: TraceSink | None = None,
              sampler: IntervalSampler | None = None,
-             backend: str = "reference") -> PipelineResult:
+             backend: str = "reference",
+             policy=None) -> PipelineResult:
     """Run ``trace`` through ``config`` and return the result.
 
     ``backend`` selects the timing kernel (see
     :mod:`repro.pipeline.kernel`); every backend is byte-identical to
-    ``reference``, so this is purely a wall-clock knob.
+    ``reference``, so this is purely a wall-clock knob.  ``policy`` is an
+    optional in-run trigger-policy controller (see :mod:`repro.policy`).
     """
     from .kernel import make_simulator
     return make_simulator(backend, trace, config, table, memory,
-                          tracer=tracer, sampler=sampler).run()
+                          tracer=tracer, sampler=sampler, policy=policy).run()

@@ -96,6 +96,11 @@ class PipelineResult:
     #: (one series per hardware thread) — see
     #: :meth:`repro.observe.sampler.IntervalSampler.timeline`.
     timeline: dict | None = None
+    #: adaptive trigger-policy summary (controller/epoch outcome) when the
+    #: run executed under a non-fixed policy; None — a class-level default,
+    #: so pre-policy pickled results still unpickle — for fixed runs, which
+    #: keeps their summaries and serialized forms byte-identical.
+    policy: dict | None = None
 
     @property
     def ipc(self) -> float:
@@ -116,7 +121,7 @@ class PipelineResult:
         return self.memory["threads"][0]["l1_misses"]
 
     def summary(self) -> dict:
-        return {
+        out = {
             "config": self.config_name,
             "workload": self.workload,
             "cycles": self.stats.cycles,
@@ -127,3 +132,8 @@ class PipelineResult:
             "triggers": self.stats.spear.triggers,
             "pthread_instrs": self.stats.spear.pthread_instrs,
         }
+        # Only non-fixed runs grow the extra row: fixed-policy summaries
+        # must stay byte-identical to the pre-policy tree's.
+        if self.policy is not None:
+            out["policy"] = self.policy.get("label", self.policy.get("name"))
+        return out

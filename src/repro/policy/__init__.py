@@ -1,0 +1,34 @@
+"""Trigger policies: closing the loop from fill timeliness to the trigger.
+
+The paper fixes SPEAR's trigger at half-IFQ occupancy (§3.2, chosen
+"empirically") and mentions chaining only as related work.  This package
+turns both knobs into a *policy* decided from the observe/ subsystem's
+fill-attribution counters:
+
+* :mod:`~repro.policy.base` — the policy registry, the aggressiveness
+  ladder (:data:`LEVELS`), the feedback signals and the pure control law
+  (:func:`propose`), plus :class:`PolicyProtocol`.
+* :mod:`~repro.policy.controller` — the in-run :class:`PhaseController`
+  state machine behind ``adaptive-phase``.
+* :mod:`~repro.policy.adaptive` — the three implementations and the
+  :func:`make_policy` factory.
+
+Specification (state machine, determinism and cache-key contracts):
+``docs/adaptive-policy.md``.
+"""
+
+from .adaptive import (MAX_EPOCHS, AdaptiveEpochPolicy, AdaptivePhasePolicy,
+                       FixedPolicy, make_policy)
+from .base import (DEFAULT_POLICY, LEVELS, MIN_FILLS, POLICIES,
+                   PolicyProtocol, PolicySignals, propose, resolve_policy,
+                   start_level)
+from .controller import COOLDOWN_WINDOWS, PhaseController
+
+__all__ = [
+    "DEFAULT_POLICY", "POLICIES", "LEVELS", "MIN_FILLS", "MAX_EPOCHS",
+    "COOLDOWN_WINDOWS",
+    "PolicyProtocol", "PolicySignals", "propose", "resolve_policy",
+    "start_level",
+    "FixedPolicy", "AdaptiveEpochPolicy", "AdaptivePhasePolicy",
+    "PhaseController", "make_policy",
+]
