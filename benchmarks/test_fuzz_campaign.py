@@ -10,7 +10,8 @@ own cell).
 
 import os
 
-from repro.fuzz import CampaignSpec, run_campaign
+from repro.fuzz import (CampaignSpec, GuidedCampaignSpec, coverage_map,
+                        run_campaign, run_guided_campaign)
 
 from .conftest import emit, once
 
@@ -27,3 +28,40 @@ def test_fuzz_campaign_triage(benchmark, runner, out_dir):
     emit(out_dir, "fuzz_campaign",
          f"$ repro fuzz run --seed 0 --count {COUNT}\n"
          + result.report.render())
+
+
+def test_fuzz_guided_vs_blind_coverage(benchmark, runner, out_dir):
+    """Equal-budget coverage comparison: the scheduled arm palette must
+    hit strictly more distinct behaviour bins than the blind
+    default-dials campaign (the point of coverage guidance)."""
+    blind_spec = CampaignSpec(seed=0, count=COUNT, sweep_every=0)
+    guided_spec = GuidedCampaignSpec(seed=0, count=COUNT, batch=25,
+                                     sweep_every=0)
+
+    def run_both():
+        blind = run_campaign(blind_spec, runner, journaled=False)
+        guided = run_guided_campaign(guided_spec, runner, journaled=False)
+        return blind, guided
+
+    blind, guided = once(benchmark, run_both)
+    assert blind.failed == [] and guided.failed == []
+    blind_cov = coverage_map(blind.verdicts)
+    assert guided.coverage.distinct > blind_cov.distinct, (
+        f"guided coverage ({guided.coverage.distinct}) must beat blind "
+        f"({blind_cov.distinct}) at equal budget")
+    lines = [
+        f"$ repro fuzz coverage --seed 0 --count {COUNT}   # blind",
+        f"$ repro fuzz coverage --guided --seed 0 --count {COUNT} "
+        f"--batch 25",
+        "",
+        f"{'campaign':<10} {'programs':>9} {'distinct bins':>14} "
+        f"{'facets':>7}",
+        f"{'blind':<10} {blind_cov.total:>9} {blind_cov.distinct:>14} "
+        f"{len(blind_cov.facets()):>7}",
+        f"{'guided':<10} {guided.coverage.total:>9} "
+        f"{guided.coverage.distinct:>14} "
+        f"{len(guided.coverage.facets()):>7}",
+        "",
+        guided.render_allocations(),
+    ]
+    emit(out_dir, "fuzz_coverage", "\n".join(lines))

@@ -182,6 +182,23 @@ SECTIONS = [
      "unencodable `li INT64_MIN`), both fixed with shrunk reproducers "
      "under `tests/regress/`; four kernels are promoted as the `fz*` "
      "workloads.  See docs/fuzzing.md."),
+    ("fuzz_coverage", "Coverage-guided fuzzing — blind vs guided at equal "
+     "budget",
+     "The coverage engine bands every verdict into a behaviour vector "
+     "(trigger fires, PE-mode residency, chaining depth, fill mix, miss "
+     "bands, slice shape, outcome) and the guided campaign (`repro fuzz "
+     "run --guided`) schedules each batch's budget over a palette of "
+     "dial arms plus spec-IR mutation arms by recent first-hit novelty "
+     "— rank-concentrated largest-remainder apportionment, integer "
+     "arithmetic end to end, so maps and plans are byte-identical at "
+     "any `--jobs` and across crash + `--resume`.  At an equal 200-"
+     "program budget the guided campaign covers strictly more distinct "
+     "behaviour bins than the blind default-dials campaign; the arm "
+     "table shows where the budget concentrated (the near-coin-flip "
+     "hammock arm, the 4x-long 'marathon' arm and the `field` mutation "
+     "arm carry most first hits).  `repro fuzz distill` then greedily "
+     "set-covers the facets into the pinned CI corpus under "
+     "`tests/regress/corpus/`.  See docs/fuzzing.md."),
     ("motivation", "Motivation — traditional prefetching vs pre-execution",
      "Section 1's claim, measured: a deep-lookahead stride prefetcher and "
      "a next-line prefetcher excel on regular streams (art, matrix, "

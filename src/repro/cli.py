@@ -39,9 +39,17 @@ serve drain          finish every live job, then shut the daemon down
 serve stop           stop now; in-flight jobs resume on next start
 fuzz run             run a seeded differential-fuzzing campaign (triage
                      text on stdout is byte-deterministic at any --jobs;
-                     --strict exits 1 on any divergence)
+                     --strict exits 1 on any divergence; --guided
+                     schedules batches over dial/mutation arms by
+                     coverage novelty)
 fuzz triage          the same campaign's triage as JSON (cached verdicts
                      make this cheap after a run)
+fuzz coverage        the campaign's behaviour-coverage map (per-dimension
+                     bins; --coverage-out writes it as JSON)
+fuzz distill         greedy set-cover of a campaign's coverage facets
+                     into a minimal pinned corpus (--corpus-out FILE)
+fuzz corpus FILE     re-evaluate a pinned corpus; --strict exits 1 on
+                     any divergence or behaviour drift
 fuzz shrink NAME     delta-debug one diverging kernel to a minimal spec
                      (``--spec FILE`` re-shrinks a checked-in reproducer)
 fuzz show NAME       print a generated kernel's spec IR and sizes
@@ -887,11 +895,23 @@ def _parse_dials(text: str | None):
 
 
 def _campaign(args):
+    runner = _runner(args)
+    if getattr(args, "guided", False):
+        from .fuzz import GuidedCampaignSpec, run_guided_campaign
+        if args.dials:
+            raise SystemExit("--dials applies to blind campaigns; "
+                             "--guided arms carry their own dials")
+        spec = GuidedCampaignSpec(seed=args.seed, count=args.count,
+                                  batch=args.batch,
+                                  sweep_every=args.sweep_every)
+        return run_guided_campaign(spec, runner, jobs=_jobs(args),
+                                   policy=_policy(args),
+                                   journal_root=_journal_dir(args),
+                                   resume=getattr(args, "resume", False))
     from .fuzz import CampaignSpec, run_campaign
     spec = CampaignSpec(seed=args.seed, count=args.count,
                         dials=_parse_dials(args.dials),
                         sweep_every=args.sweep_every)
-    runner = _runner(args)
     result = run_campaign(spec, runner, jobs=_jobs(args),
                           policy=_policy(args),
                           journal_root=_journal_dir(args),
@@ -899,16 +919,32 @@ def _campaign(args):
     return result
 
 
+def _campaign_coverage(result):
+    """The campaign's coverage map (guided carries one, blind derives)."""
+    from .fuzz import coverage_map
+    return getattr(result, "coverage", None) or coverage_map(result.verdicts)
+
+
 def _campaign_exit(args, result) -> int:
-    print(result.run_report.render(), file=sys.stderr)
+    reports = getattr(result, "run_reports", None)
+    if reports is None:
+        reports = [result.run_report]
+    for report in reports:
+        print(report.render(), file=sys.stderr)
     for name in result.failed:
         print(f"  NO VERDICT (evaluator failed): {name}", file=sys.stderr)
+    if getattr(args, "coverage_out", None):
+        Path(args.coverage_out).write_text(
+            _campaign_coverage(result).to_json() + "\n")
+        print(f"wrote {args.coverage_out}", file=sys.stderr)
     if getattr(args, "output", None):
         Path(args.output).write_text(result.report.to_json() + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
+    completed = (result.completed if hasattr(result, "completed")
+                 else result.run_report.completed)
     if args.strict and (result.report.counts["divergence"]
                         or result.failed
-                        or not result.run_report.completed):
+                        or not completed):
         return 1
     return 0
 
@@ -922,6 +958,8 @@ def cmd_fuzz_run(args) -> int:
     except FatalCellError as exc:
         return _fatal(exc)
     print(result.report.render())
+    if hasattr(result, "render_allocations"):
+        print(result.render_allocations())
     return _campaign_exit(args, result)
 
 
@@ -933,6 +971,54 @@ def cmd_fuzz_triage(args) -> int:
         return _fatal(exc)
     print(result.report.to_json())
     return _campaign_exit(args, result)
+
+
+def cmd_fuzz_coverage(args) -> int:
+    """Render a campaign's behaviour-coverage map (byte-deterministic;
+    cheap on a warm cache since verdicts replay from the disk cache)."""
+    try:
+        result = _campaign(args)
+    except FatalCellError as exc:
+        return _fatal(exc)
+    print(_campaign_coverage(result).render())
+    return _campaign_exit(args, result)
+
+
+def cmd_fuzz_distill(args) -> int:
+    """Distill a campaign into a minimal pinned corpus (greedy facet
+    set-cover over the clean verdicts; see ``repro.fuzz.distill``)."""
+    from .fuzz import corpus_to_json, distill
+    try:
+        result = _campaign(args)
+    except FatalCellError as exc:
+        return _fatal(exc)
+    entries = distill(result.verdicts)
+    source = {"experiment": result.spec.experiment, "seed": args.seed,
+              "count": args.count,
+              "guided": getattr(args, "guided", False)}
+    text = corpus_to_json(entries, source=source)
+    if args.corpus_out:
+        Path(args.corpus_out).write_text(text + "\n")
+        print(f"wrote {args.corpus_out} ({len(entries)} entries)",
+              file=sys.stderr)
+    else:
+        print(text)
+    return _campaign_exit(args, result)
+
+
+def cmd_fuzz_corpus(args) -> int:
+    """Re-evaluate a pinned corpus entry-by-entry in strict differential
+    mode; ``--strict`` turns divergence or behaviour drift into exit 1."""
+    from .fuzz import check_corpus, corpus_from_json
+    entries, _doc = corpus_from_json(Path(args.file).read_text())
+    checks = check_corpus(entries, scale=args.scale)
+    for c in checks:
+        print(c.describe())
+    bad = sum(1 for c in checks if not c.ok)
+    print(f"corpus: {len(entries)} entries, {bad} failing")
+    if bad and args.strict:
+        return 1
+    return 0
 
 
 def cmd_fuzz_shrink(args) -> int:
@@ -1270,6 +1356,13 @@ def build_parser() -> argparse.ArgumentParser:
         pf.add_argument("--dials", default=None, metavar="K=V;K=V",
                         help="generator dial overrides "
                              "(e.g. mem_words=4096;fp_weight=0)")
+        pf.add_argument("--guided", action="store_true",
+                        help="coverage-guided campaign: batches "
+                             "apportioned over dial/mutation arms by "
+                             "coverage novelty (see docs/fuzzing.md)")
+        pf.add_argument("--batch", type=int, default=25,
+                        help="programs per guided scheduling round "
+                             "(default 25)")
         pf.add_argument("--sweep-every", type=int, default=50,
                         help="every Nth program also cross-checks the "
                              "batched latency sweep (0 disables; "
@@ -1278,6 +1371,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit 1 on any divergence or failed cell")
         pf.add_argument("-o", "--output", default=None,
                         help="also write the triage report as JSON")
+        pf.add_argument("--coverage-out", default=None, metavar="FILE",
+                        help="also write the behaviour-coverage map "
+                             "as JSON")
         _add_scale(pf)
         _add_perf(pf)
 
@@ -1290,6 +1386,27 @@ def build_parser() -> argparse.ArgumentParser:
         "triage", help="campaign triage as JSON (cheap on a warm cache)")
     _add_campaign(pf)
     pf.set_defaults(fn=cmd_fuzz_triage)
+
+    pf = fsub.add_parser(
+        "coverage", help="render a campaign's behaviour-coverage map")
+    _add_campaign(pf)
+    pf.set_defaults(fn=cmd_fuzz_coverage)
+
+    pf = fsub.add_parser(
+        "distill", help="distill a campaign into a minimal pinned corpus")
+    _add_campaign(pf)
+    pf.add_argument("--corpus-out", default=None, metavar="FILE",
+                    help="write the corpus JSON here (default stdout)")
+    pf.set_defaults(fn=cmd_fuzz_distill)
+
+    pf = fsub.add_parser(
+        "corpus", help="re-run a pinned corpus in strict differential mode")
+    pf.add_argument("file", help="corpus JSON "
+                                 "(e.g. tests/regress/corpus/corpus.json)")
+    pf.add_argument("--strict", action="store_true",
+                    help="exit 1 on any divergence or behaviour drift")
+    _add_scale(pf)
+    pf.set_defaults(fn=cmd_fuzz_corpus)
 
     pf = fsub.add_parser(
         "shrink", help="delta-debug a diverging kernel to a minimal spec")

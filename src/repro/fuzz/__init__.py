@@ -23,23 +23,47 @@ The campaign machinery has four layers:
   reporting, delta-debugging reduction of failing specs, and the
   journaled, resumable campaign driver running verdict cells through
   the fault-tolerant parallel engine.
+* :mod:`~repro.fuzz.coverage` / :mod:`~repro.fuzz.schedule` /
+  :mod:`~repro.fuzz.distill` — the coverage-guided loop: every verdict
+  bands into a :class:`~repro.fuzz.coverage.BehaviorVector` and a
+  content-hashed :class:`~repro.fuzz.coverage.CoverageMap`; the guided
+  campaign apportions each batch's budget over dial arms and spec-IR
+  mutation arms by recent first-hit novelty (integer arithmetic, so
+  byte-identical at any ``--jobs`` and across ``--resume``); and
+  greedy set-cover distillation pins a minimal corpus under
+  ``tests/regress/corpus/`` that CI re-checks strictly.
 """
 
 from .campaign import (CampaignResult, CampaignSpec, campaign_cells,
                        run_campaign)
+from .coverage import (BehaviorVector, CoverageMap, coverage_map, vector_of)
 from .differential import FuzzCheckSpec, FuzzVerdict, evaluate_workload
+from .distill import (CorpusEntry, check_corpus, corpus_from_json,
+                      corpus_to_json, distill)
 from .generator import (KernelDials, KernelSpec, FuzzWorkload, SpecWorkload,
                         encode_name, fuzz_workload_from_name, materialize,
                         parse_name, sample_spec, spec_from_json, spec_to_json)
 from .oracle import run_oracle
+from .schedule import (Arm, ArmScheduler, DEFAULT_ARMS, GuidedCampaignResult,
+                       GuidedCampaignSpec, MutWorkload, encode_mut_name,
+                       mut_workload_from_name, mutate_spec, parse_mut_name,
+                       run_guided_campaign)
 from .shrink import shrink
 from .triage import TriageReport, triage
 
 __all__ = [
     "CampaignResult", "CampaignSpec", "campaign_cells", "run_campaign",
+    "BehaviorVector", "CoverageMap", "coverage_map", "vector_of",
     "FuzzCheckSpec", "FuzzVerdict", "evaluate_workload",
+    "CorpusEntry", "check_corpus", "corpus_from_json", "corpus_to_json",
+    "distill",
     "KernelDials", "KernelSpec", "FuzzWorkload", "SpecWorkload",
     "encode_name", "fuzz_workload_from_name", "materialize", "parse_name",
     "sample_spec", "spec_from_json", "spec_to_json",
-    "run_oracle", "shrink", "TriageReport", "triage",
+    "run_oracle",
+    "Arm", "ArmScheduler", "DEFAULT_ARMS", "GuidedCampaignResult",
+    "GuidedCampaignSpec", "MutWorkload", "encode_mut_name",
+    "mut_workload_from_name", "mutate_spec", "parse_mut_name",
+    "run_guided_campaign",
+    "shrink", "TriageReport", "triage",
 ]

@@ -103,5 +103,6 @@ def run_campaign(spec: CampaignSpec, runner: ExperimentRunner, *,
         else:
             failed.append(cell.workload)
     return CampaignResult(spec=spec, verdicts=verdicts,
-                          report=triage(verdicts), run_report=run_report,
+                          report=triage(verdicts, errored=failed),
+                          run_report=run_report,
                           journal=journal, failed=failed)

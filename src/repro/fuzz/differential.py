@@ -41,6 +41,34 @@ from .generator import SpecWorkload, spec_layout
 from .oracle import functional_summary, run_oracle
 
 
+#: Version of the raw behaviour tuple measured below and attached to
+#: every verdict (``FuzzVerdict.behavior``).  Folded into the check
+#: payload, so verdicts cached by a build with a different — or no —
+#: behaviour schema can never satisfy this one's cells.
+BEHAVIOR_VERSION = 1
+
+#: The raw tuple's field order.  All integers; SPEAR-side counters come
+#: from the spear config on the primary backend, cache counters from the
+#: *baseline* run (the memory character SPEAR reacts to), slice shape
+#: from the compiled p-thread table.
+BEHAVIOR_FIELDS = (
+    "triggers",          # pre-execution modes entered (spear)
+    "retriggers",        # dormant-d-load/chaining trigger hand-offs
+    "modes_completed",   # trigger d-load instances retired in-mode
+    "cycles_in_mode",    # cycles spent with the PE active (spear)
+    "cycles",            # total cycles (spear)
+    "fills",             # p-thread speculative fills started
+    "timely", "late", "unused",   # the fill-timeliness partition
+    "accesses",          # baseline main-thread L1 accesses
+    "l1_misses",         # baseline main-thread primary L1 misses
+    "l2_refs",           # baseline main-thread L2 references
+    "l2_misses",         # baseline main-thread L2 misses
+    "n_slices",          # p-threads in the compiled table
+    "slice_total",       # statements across all slices
+    "slice_max",         # longest single slice
+)
+
+
 @dataclass(frozen=True)
 class FuzzCheckSpec:
     """What one fuzz cell checks — picklable, hashable, and folded into
@@ -61,7 +89,8 @@ class FuzzCheckSpec:
         return {"configs": list(self.configs),
                 "backends": list(self.backends),
                 "sweep_points": self.sweep_points,
-                "speedup": self.speedup, "regression": self.regression}
+                "speedup": self.speedup, "regression": self.regression,
+                "behavior": BEHAVIOR_VERSION}
 
     def resolve_configs(self) -> tuple[MachineConfig, MachineConfig]:
         return PAPER_CONFIGS[self.configs[0]], PAPER_CONFIGS[self.configs[1]]
@@ -83,6 +112,11 @@ class FuzzVerdict:
     spec_size: int               #: statement count (shrink metric)
     divergences: tuple[str, ...] = ()
     checks: tuple[str, ...] = ()
+    #: raw behaviour measurements, :data:`BEHAVIOR_FIELDS` order; None
+    #: when the evaluation died before the timing runs (the coverage
+    #: layer bands those as unmeasured).  Defaulted, so verdicts pickled
+    #: before the coverage engine still unpickle.
+    behavior: tuple[int, ...] | None = None
 
     @property
     def diverged(self) -> bool:
@@ -97,12 +131,33 @@ class FuzzVerdict:
                 "halted": self.halted, "triggers": self.triggers,
                 "spec_size": self.spec_size,
                 "divergences": list(self.divergences),
-                "checks": list(self.checks)}
+                "checks": list(self.checks),
+                "behavior": (list(self.behavior)
+                             if self.behavior is not None else None)}
 
 
 def _result_state(result: PipelineResult) -> tuple:
     """Everything a backend could drift on, in comparable form."""
     return (result.stats, result.memory, result.predictor)
+
+
+def _measure_behavior(base: PipelineResult | None,
+                      spear: PipelineResult | None,
+                      table) -> tuple[int, ...] | None:
+    """The raw :data:`BEHAVIOR_FIELDS` tuple, or None when either timing
+    run is missing (its divergence already tells the story)."""
+    if base is None or spear is None:
+        return None
+    ss = spear.stats.spear
+    fills = spear.memory["fills"]["pthread"]
+    main = base.memory["threads"][0]
+    slices = [len(pt.slice_pcs) for pt in table] if table is not None else []
+    return (ss.triggers, ss.retriggers, ss.modes_completed,
+            ss.cycles_in_mode, spear.stats.cycles,
+            fills["fills"], fills["timely"], fills["late"], fills["unused"],
+            main["accesses"], main["l1_misses"],
+            main["l2_hits"] + main["l2_misses"], main["l2_misses"],
+            len(slices), sum(slices), max(slices, default=0))
 
 
 def evaluate_workload(workload: SpecWorkload,
@@ -247,4 +302,5 @@ def evaluate_workload(workload: SpecWorkload,
         trace_len=len(trace), halted=sim.halted,
         triggers=spear.stats.spear.triggers if spear is not None else 0,
         spec_size=spec.size(),
-        divergences=tuple(divergences), checks=tuple(checks))
+        divergences=tuple(divergences), checks=tuple(checks),
+        behavior=_measure_behavior(base, spear, table))

@@ -5,6 +5,12 @@ engine in submission order (which the engine guarantees regardless of
 ``--jobs``), and every aggregate below is computed order-independently
 or preserves that order, so two same-seed campaigns render identical
 bytes — the property the CI determinism check diffs on.
+
+Programs whose evaluator died terminally (crashed cell, exhausted
+retries) have no verdict at all; they are surfaced as the explicit
+``errored`` bucket rather than silently shrinking the campaign — a
+partially journaled campaign re-triaged after a crash must account for
+every program it was asked to run.
 """
 
 from __future__ import annotations
@@ -30,14 +36,20 @@ class TriageReport:
     top_regressions: list = field(default_factory=list)
     mean_speedup: float = 0.0
     total_commits: int = 0
+    #: names whose evaluation raised before classification (no verdict),
+    #: submission order — these are findings, not omissions
+    errored: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {"total": self.total, "counts": dict(self.counts),
+        counts = dict(self.counts)
+        counts["errored"] = len(self.errored)
+        return {"total": self.total, "counts": counts,
                 "divergences": [v.to_dict() for v in self.divergences],
                 "top_speedups": self.top_speedups,
                 "top_regressions": self.top_regressions,
                 "mean_speedup": self.mean_speedup,
-                "total_commits": self.total_commits}
+                "total_commits": self.total_commits,
+                "errored": list(self.errored)}
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
@@ -45,8 +57,8 @@ class TriageReport:
     def render(self) -> str:
         lines = [f"fuzz triage — {self.total} program(s), "
                  f"{self.total_commits} instructions committed"]
-        for c in CLASSES:
-            n = self.counts[c]
+        for c in CLASSES + ("errored",):
+            n = len(self.errored) if c == "errored" else self.counts[c]
             pct = 100.0 * n / self.total if self.total else 0.0
             lines.append(f"  {c:<10} {n:6d}  ({pct:5.1f}%)")
         lines.append(f"  mean SPEAR/baseline IPC ratio: "
@@ -67,12 +79,24 @@ class TriageReport:
                     lines.append(f"      - {d}")
         else:
             lines.append("  no divergences.")
+        if self.errored:
+            lines.append(f"  ERRORED ({len(self.errored)}) — evaluator "
+                         f"died before classification:")
+            for name in self.errored:
+                lines.append(f"    {name}")
         return "\n".join(lines)
 
 
-def triage(verdicts: list[FuzzVerdict], *, top: int = 5) -> TriageReport:
-    """Classify a campaign's verdicts (submission order preserved)."""
-    report = TriageReport(total=len(verdicts))
+def triage(verdicts: list[FuzzVerdict], *, top: int = 5,
+           errored: list | None = None) -> TriageReport:
+    """Classify a campaign's verdicts (submission order preserved).
+
+    ``errored`` names programs that produced no verdict at all; they
+    count toward ``total`` and get their own bucket.
+    """
+    errored = list(errored) if errored else []
+    report = TriageReport(total=len(verdicts) + len(errored),
+                          errored=errored)
     ratios = []
     for v in verdicts:
         report.counts[v.classification] += 1

@@ -740,6 +740,7 @@ class TimingSimulator:
         for slot in reversed(self.ifq.marked_queue):
             if slot.seq >= self._pe_seq and slot.marked and slot.is_dload:
                 self._begin_trigger(slot.trace_idx, slot.seq)
+                self.stats.spear.retriggers += 1
                 return
 
     # ------------------------------------------------------------------

@@ -17,6 +17,12 @@ class SpearStats:
     pthread_instrs: int = 0        # p-thread instructions executed
     pthread_loads: int = 0
     extracted: int = 0             # = pthread_instrs (kept for clarity)
+    #: triggers that fired through the dormant-d-load retrigger scan
+    #: (chaining hand-offs and post-mode wakeups) rather than straight
+    #: from pre-decode — the chaining-depth signal the fuzz coverage
+    #: maps band on.  Defaulted, so pre-coverage pickled results still
+    #: unpickle (same trick as ``PipelineResult.policy``).
+    retriggers: int = 0
     livein_copy_cycles: int = 0
     drain_wait_cycles: int = 0
     extraction_stall_ruu_full: int = 0

@@ -78,6 +78,24 @@ class Workload(ABC):
               variant: str) -> None:
         """Emit the kernel into ``b``.  Must not emit the final halt."""
 
+    def spec_of(self):
+        """Export this workload's kernel as a fuzz ``KernelSpec``, or
+        None when it has no IR port.
+
+        The export is a *behavioural* port, not a byte transcription:
+        the spec grammar's fixed materialization (shared scratch
+        registers, masked addressing, counted loops) cannot reproduce a
+        hand-built program's exact text, so exporters scale the kernel
+        into the generator's dynamic budget while preserving its memory
+        character and SPEAR expectation (gain/flat).  What *is* exact:
+        the spec JSON round-trips byte-identically, and the
+        materialized program is byte-deterministic — both pinned in
+        ``tests/workloads/test_spec_exports.py``.  These specs seed the
+        coverage-guided campaign's mutation arms
+        (:mod:`repro.fuzz.schedule`).
+        """
+        return None
+
     # -- shared data-generation helpers ------------------------------------
 
     @staticmethod
@@ -125,6 +143,12 @@ def get_workload(name: str) -> Workload:
     if name.startswith("fuzz:"):
         from ..fuzz.generator import fuzz_workload_from_name
         return fuzz_workload_from_name(name)
+    if name.startswith("fuzzmut:"):
+        # Mutated hand-built spec: ``fuzzmut:v1:<seed>:<index>:<base>``
+        # fully encodes the mutation identity (the base workload's
+        # exported spec plus a seeded mutation walk).
+        from ..fuzz.schedule import mut_workload_from_name
+        return mut_workload_from_name(name)
     try:
         return _REGISTRY[name]()
     except KeyError:

@@ -64,3 +64,18 @@ class LL4(Workload):
             b.blt("r10", "r22", wrap)
             b.li("r10", 0)
             b.place(wrap)
+
+    def spec_of(self):
+        """IR port: strided fp loads of ``y[j]`` feeding a
+        multiply-accumulate — the Figure 1 delinquent-load structure at
+        generator scale."""
+        from ..fuzz.generator import KernelSpec
+        body = (("alu", "addi", 0, 0, 0, _STRIDE),  # j += stride
+                ("fload", 1, 0),           # y[j]  <- the delinquent load
+                ("alu", "addi", 2, 2, 0, 1),        # k++
+                ("fload", 3, 2),           # x[k]  (hot)
+                ("fp", "fmul", 4, 1, 3),
+                ("fp", "fadd", 5, 5, 4))   # xz += y[j] * x[k]
+        return KernelSpec(mem_words=4096, p_taken=0.5,
+                          init=(0,) * 8, finit=(0.0,) * 6,
+                          loops=((190, body),))

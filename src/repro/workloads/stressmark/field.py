@@ -60,3 +60,20 @@ class Field(Workload):
                 b.xor("r6", "r5", "r9")      # token statistics filler
                 b.srai("r7", "r6", 2)
                 b.add("r9", "r9", "r0")
+
+    def spec_of(self):
+        """IR port: a cache-resident sequential scan with a rare-token
+        branch (p=0.02) and compute filler — the low-miss end of the
+        spectrum at generator scale.  The tiny footprint amortizes the
+        cold pass, so the L1 miss band stays low; the residual
+        compulsory misses still buy SPEAR a small gain, unlike the
+        full-size workload whose 20 passes make it exactly flat."""
+        from ...fuzz.generator import KernelSpec
+        body = (("stream", 0, 1),          # the sequential scan
+                ("hammock", "entropy", 0, 1,
+                 (("alu", "addi", 2, 2, 0, 1),), ()),   # rare token hit
+                ("alu", "xor", 3, 0, 2, 0),
+                ("alu", "srai", 4, 3, 0, 2))
+        return KernelSpec(mem_words=64, p_taken=0.02,
+                          init=(0,) * 8, finit=(0.0,) * 6,
+                          loops=((200, body),))

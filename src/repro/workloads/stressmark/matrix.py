@@ -80,3 +80,20 @@ class Matrix(Workload):
             b.slli("r13", "r1", 3)
             b.add("r14", "r13", "r23")
             b.sw("r9", "r14", 0)                   # y[row]
+
+    def spec_of(self):
+        """IR port: CSR SpMV — streamed columns/values, a gathered
+        ``x[col]``, a long ALU reduction and the row store; the
+        independent-gather MLP structure at generator scale."""
+        from ...fuzz.generator import KernelSpec
+        body = (("stream", 0, 1),          # col[k]
+                ("gather", 1, 0, 2),       # x[col[k]] (delinquent)
+                ("stream", 2, 1),          # val[k]
+                ("alu", "mul", 3, 1, 2, 0),
+                ("alu", "add", 4, 4, 3, 0),
+                ("alu", "srai", 5, 3, 0, 7),
+                ("alu", "xor", 4, 4, 5, 0),
+                ("store", 4, 2))           # y accumulator write-back
+        return KernelSpec(mem_words=8192, p_taken=0.5,
+                          init=(0,) * 8, finit=(0.0,) * 6,
+                          loops=((85, body),))

@@ -56,3 +56,15 @@ class Pointer(Workload):
                 b.lw("r10", "r5", 0)       # the hop (delinquent)
             b.add("r9", "r9", "r10")
             b.addi("r4", "r4", 8)
+
+    def spec_of(self):
+        """IR port: streamed sequence seeds feeding 4-hop serial chases
+        through the cycle table, checksum-folded — the hop-sequence
+        structure at generator scale (see ``Workload.spec_of``)."""
+        from ...fuzz.generator import KernelSpec
+        body = (("stream", 0, 1),          # sequence seed (index stream)
+                ("chase", 1, 0, 4),        # 4 serial hops from the seed
+                ("alu", "add", 2, 2, 1, 0))  # checksum += last hop
+        return KernelSpec(mem_words=4096, p_taken=0.5,
+                          init=(0,) * 8, finit=(0.0,) * 6,
+                          loops=((120, body),))

@@ -57,3 +57,18 @@ class Update(Workload):
             b.beq("r7", "r0", skip)       # biased data-dependent branch
             b.addi("r9", "r9", 1)         # rare path: bump update value
             b.place(skip)
+
+    def spec_of(self):
+        """IR port: a single serial chain whose visited nodes are
+        read-modify-written, plus the biased data-dependent branch
+        (p=0.12) — the no-MLP structure at generator scale."""
+        from ...fuzz.generator import KernelSpec
+        body = (("chase", 0, 0, 1),        # the serial hop (delinquent)
+                ("gather", 1, 0, 1),       # payload of the old node
+                ("alu", "add", 2, 2, 1, 0),
+                ("store", 2, 0),           # the update (RMW)
+                ("hammock", "entropy", 0, 0,
+                 (("alu", "addi", 3, 3, 0, 1),), ()))
+        return KernelSpec(mem_words=4096, p_taken=_P_TAKEN,
+                          init=(0,) * 8, finit=(0.0,) * 6,
+                          loops=((110, body),))

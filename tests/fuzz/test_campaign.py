@@ -112,3 +112,23 @@ class TestTriage:
         text = result.report.render()
         assert "divergence" in text
         assert "2 program(s)" in text
+
+    def test_errored_programs_get_an_explicit_bucket(self):
+        rep = triage([], errored=["fuzz:v1:0:2"])
+        assert rep.total == 1
+        assert rep.errored == ["fuzz:v1:0:2"]
+        doc = json.loads(rep.to_json())
+        assert doc["counts"]["errored"] == 1
+        assert doc["errored"] == ["fuzz:v1:0:2"]
+        assert "ERRORED (1)" in rep.render()
+        assert "fuzz:v1:0:2" in rep.render()
+
+    def test_crashed_cells_surface_as_errored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash:cell=1:times=0")
+        result = run_campaign(_spec(), _runner(tmp_path), jobs=2,
+                              policy=FAST, journal_root=tmp_path / "j")
+        assert len(result.failed) == 1
+        # The report accounts for every program it was asked to run:
+        # no silent shrinkage of the campaign.
+        assert result.report.errored == result.failed
+        assert result.report.total == result.spec.count

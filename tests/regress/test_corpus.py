@@ -1,0 +1,43 @@
+"""The distilled fuzz corpus must stay pinned.
+
+``corpus/corpus.json`` is the output of ``repro fuzz distill`` over a
+coverage-guided campaign: a minimal set of programs whose facets cover
+every behaviour bin that campaign reached.  Each entry re-runs the full
+differential evaluation here (strict mode) and must come back
+
+* divergence-free, and
+* in its pinned coverage bin with its pinned classification.
+
+Behaviour drift means the timing model legitimately changed — this test
+failing on purpose is the feature.  Regenerate alongside the change:
+
+    repro fuzz distill --guided --seed 0 --count 150 --batch 25 \
+        --sweep-every 0 --corpus-out tests/regress/corpus/corpus.json
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import check_corpus, corpus_from_json
+
+HERE = Path(__file__).parent
+CORPUS = HERE / "corpus" / "corpus.json"
+
+ENTRIES, DOC = corpus_from_json(CORPUS.read_text())
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 5
+    assert DOC["facets"], "a corpus with no facets covers nothing"
+
+
+def test_every_facet_is_covered_by_some_entry():
+    covered = {f for e in ENTRIES for f in e.facets}
+    assert covered == set(DOC["facets"])
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_entry_stays_pinned(entry):
+    check = check_corpus([entry])[0]
+    assert check.ok, check.describe()
